@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the MAB structure itself: probe and
+//! record throughput at the paper's configurations. The MAB sits on the
+//! processor's address path, so its software model must be fast enough to
+//! make whole-program simulation practical.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use waymem_cache::Geometry;
+use waymem_core::{Mab, MabConfig};
+
+fn bench_lookup_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mab_lookup");
+    for (nt, ns) in [(2usize, 8usize), (2, 16), (2, 32)] {
+        let cfg = MabConfig::new(Geometry::frv(), nt, ns).expect("valid");
+        let mut mab = Mab::new(cfg);
+        // Warm every pair so probes hit.
+        for t in 0..nt as u32 {
+            for s in 0..ns as u32 {
+                mab.record((t << 14) | (s << 5), 0, (t ^ s) & 1);
+            }
+        }
+        group.bench_function(format!("hit_{nt}x{ns}"), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                let t = i % nt as u32;
+                let s = i % ns as u32;
+                i = i.wrapping_add(1);
+                black_box(mab.lookup(black_box((t << 14) | (s << 5)), black_box(4)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_record_churn(c: &mut Criterion) {
+    let cfg = MabConfig::paper_dcache();
+    let mut mab = Mab::new(cfg);
+    c.bench_function("mab_record_churn_2x8", |b| {
+        let mut x = 0x1234_5678u32;
+        b.iter(|| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let base = x & 0x000f_ffe0;
+            black_box(mab.record(black_box(base), black_box((x & 0x3f) as i32), x & 1))
+        })
+    });
+}
+
+fn bench_wide_bypass(c: &mut Criterion) {
+    let mut mab = Mab::new(MabConfig::paper_dcache());
+    c.bench_function("mab_wide_bypass", |b| {
+        b.iter(|| black_box(mab.lookup(black_box(0x8000), black_box(1 << 20))))
+    });
+}
+
+criterion_group!(benches, bench_lookup_hit, bench_record_churn, bench_wide_bypass);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates Figure 4: average number of tag accesses and way accesses
+//! per D-cache access for original / set buffer \[14\] / way memoization,
+//! over the seven benchmarks.
+
+use waymem_bench::{fig4_dschemes, run_suite};
+use waymem_sim::{format_ratio_table, FigureRow, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let results = run_suite(&cfg, &fig4_dschemes(), &[]).expect("suite runs");
+
+    let tag_rows: Vec<FigureRow> = results
+        .iter()
+        .map(|r| FigureRow {
+            label: r.benchmark.name().to_owned(),
+            values: r
+                .dcache
+                .iter()
+                .map(|s| (s.name.clone(), s.stats.tags_per_access()))
+                .collect(),
+        })
+        .collect();
+    print!(
+        "{}",
+        format_ratio_table("Figure 4 (top): # tag accesses / D-cache access", &tag_rows)
+    );
+
+    let way_rows: Vec<FigureRow> = results
+        .iter()
+        .map(|r| FigureRow {
+            label: r.benchmark.name().to_owned(),
+            values: r
+                .dcache
+                .iter()
+                .map(|s| (s.name.clone(), s.stats.ways_per_access()))
+                .collect(),
+        })
+        .collect();
+    print!(
+        "{}",
+        format_ratio_table(
+            "Figure 4 (bottom): # ways accessed / D-cache access",
+            &way_rows
+        )
+    );
+    println!(
+        "expected shape: original ~2.0 tags; ours ~90% fewer tags; ways > 1 for ours (at least one way per access); stores keep even the original below 2 ways."
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 5: D-cache power (mW) split into data-memory, tag-
+//! memory and MAB components, for original / set buffer \[14\] / ours, per
+//! benchmark, via Eq. (1).
+
+use waymem_bench::{fig4_dschemes, geometric_mean, run_suite};
+use waymem_sim::{format_power_table, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let results = run_suite(&cfg, &fig4_dschemes(), &[]).expect("suite runs");
+
+    let mut savings = Vec::new();
+    for r in &results {
+        let entries: Vec<_> = r
+            .dcache
+            .iter()
+            .map(|s| (s.name.clone(), s.power))
+            .collect();
+        print!(
+            "{}",
+            format_power_table(&format!("Figure 5: D-cache power — {}", r.benchmark), &entries)
+        );
+        let orig = r.dcache[0].power.total_mw();
+        let ours = r.dcache[2].power.total_mw();
+        savings.push(ours / orig);
+    }
+    let avg = geometric_mean(&savings);
+    println!(
+        "average D-cache power: ours/original = {:.2} (paper: ~0.65, i.e. 35% average reduction; up to 50%)",
+        avg
+    );
+}

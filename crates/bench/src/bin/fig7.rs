@@ -1,0 +1,30 @@
+//! Regenerates Figure 7: I-cache power (mW) for approach \[4\] versus way
+//! memoization with 2×8 / 2×16 / 2×32 MABs, per benchmark, via Eq. (1).
+
+use waymem_bench::{fig6_ischemes, geometric_mean, run_suite};
+use waymem_sim::{format_power_table, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let results = run_suite(&cfg, &[], &fig6_ischemes()).expect("suite runs");
+
+    let mut ratios = Vec::new();
+    for r in &results {
+        let entries: Vec<_> = r
+            .icache
+            .iter()
+            .map(|s| (s.name.clone(), s.power))
+            .collect();
+        print!(
+            "{}",
+            format_power_table(&format!("Figure 7: I-cache power — {}", r.benchmark), &entries)
+        );
+        let base = r.icache[0].power.total_mw(); // approach [4]
+        let ours_2x16 = r.icache[2].power.total_mw();
+        ratios.push(ours_2x16 / base);
+    }
+    println!(
+        "average I-cache power, ours(2x16)/[4] = {:.2} (paper: ~0.75, i.e. 25% average reduction)",
+        geometric_mean(&ratios)
+    );
+}

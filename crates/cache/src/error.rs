@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a [`Geometry`](crate::Geometry) from
+/// invalid parameters.
+///
+/// The simulator mirrors hardware constraints: set count, associativity and
+/// line size must all be powers of two, lines must hold at least one 32-bit
+/// word, and the address split (offset + index + tag) must fit in 32 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeometryError {
+    /// The number of sets was zero or not a power of two.
+    BadSets(u32),
+    /// The number of ways was zero or not a power of two.
+    BadWays(u32),
+    /// The line size was smaller than 4 bytes or not a power of two.
+    BadLineBytes(u32),
+    /// offset bits + index bits exceeded the 32-bit address width.
+    AddressOverflow {
+        /// Bits consumed by the line offset field.
+        offset_bits: u32,
+        /// Bits consumed by the set index field.
+        index_bits: u32,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GeometryError::BadSets(n) => {
+                write!(f, "set count {n} is not a non-zero power of two")
+            }
+            GeometryError::BadWays(n) => {
+                write!(f, "way count {n} is not a non-zero power of two")
+            }
+            GeometryError::BadLineBytes(n) => {
+                write!(f, "line size {n} is not a power of two of at least 4 bytes")
+            }
+            GeometryError::AddressOverflow {
+                offset_bits,
+                index_bits,
+            } => write!(
+                f,
+                "offset ({offset_bits} bits) plus index ({index_bits} bits) exceeds 32-bit addresses"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let msg = GeometryError::BadSets(3).to_string();
+        assert!(msg.contains('3'));
+        assert!(msg.starts_with("set count"));
+        let msg = GeometryError::AddressOverflow {
+            offset_bits: 20,
+            index_bits: 20,
+        }
+        .to_string();
+        assert!(msg.contains("20"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

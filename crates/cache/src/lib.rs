@@ -1,0 +1,72 @@
+//! # waymem-cache — set-associative cache simulator with energy accounting
+//!
+//! This crate is the cache *substrate* for the way-memoization reproduction
+//! (Ishihara & Fallah, DATE 2005). It models a write-back, LRU,
+//! set-associative cache at the granularity the paper's evaluation needs:
+//! every access reports **how many tag arrays** and **how many data ways**
+//! were activated, because the paper's power equation (Eq. 1) is
+//!
+//! ```text
+//! P_cache = E_way · N_way + E_tag · N_tag + P_MAB
+//! ```
+//!
+//! The crate deliberately separates three concerns:
+//!
+//! * **State** — [`SetAssocCache`] holds lines, tags, dirty bits and per-set
+//!   LRU order, and can say which way a line resides in ([`SetAssocCache::probe`]).
+//! * **Data** — lines carry real bytes backed by a [`MainMemory`], so
+//!   functional equivalence with a flat memory can be property-tested.
+//! * **Accounting** — the *front-ends* (in `waymem-sim`) decide how many tag
+//!   and way arrays an access activates under each scheme (conventional,
+//!   set-buffer, intra-line memoization, MAB) and record it in
+//!   [`AccessStats`]. The cache itself never guesses energy.
+//!
+//! Auxiliary hardware structures used by the baselines and by the paper's
+//! "future work" hybrid also live here: [`WriteBackBuffer`] (lets stores
+//! activate a single data way), [`LineBuffer`] (Su & Despain / filter-style
+//! single-line L0) and [`SetBuffer`] (Yang et al., approach \[14\]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use waymem_cache::{Geometry, MainMemory, SetAssocCache, AccessKind};
+//!
+//! # fn main() -> Result<(), waymem_cache::GeometryError> {
+//! let geom = Geometry::new(512, 2, 32)?; // 32 kB, 2-way, 32-B lines (FR-V)
+//! let mut mem = MainMemory::new();
+//! mem.write_u32(0x1000, 0xdead_beef);
+//! let mut cache = SetAssocCache::new(geom);
+//!
+//! let outcome = cache.access(0x1000, AccessKind::Load, &mut mem);
+//! assert!(!outcome.hit);                       // cold miss
+//! assert_eq!(cache.read_u32(0x1000), Some(0xdead_beef));
+//! let outcome = cache.access(0x1000, AccessKind::Load, &mut mem);
+//! assert!(outcome.hit);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cache;
+mod error;
+mod geometry;
+mod line;
+mod line_buffer;
+mod lru;
+mod memory;
+mod set_buffer;
+mod stats;
+mod wb_buffer;
+
+pub use cache::{AccessKind, AccessOutcome, EvictedLine, FillOutcome, SetAssocCache};
+pub use error::GeometryError;
+pub use geometry::Geometry;
+pub use line::CacheLine;
+pub use line_buffer::LineBuffer;
+pub use lru::LruOrder;
+pub use memory::MainMemory;
+pub use set_buffer::{SetBuffer, SetBufferLookup};
+pub use stats::AccessStats;
+pub use wb_buffer::WriteBackBuffer;

@@ -1,0 +1,161 @@
+use serde::{Deserialize, Serialize};
+
+/// One cache line: valid/dirty state, the stored tag and the line's data
+/// bytes.
+///
+/// Lines carry real data (not just metadata) so the simulator can be checked
+/// for functional equivalence against a flat memory — a cache scheme that
+/// returned wrong bytes would invalidate every power number built on it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLine {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    data: Vec<u8>,
+}
+
+impl CacheLine {
+    /// Creates an invalid line with `line_bytes` bytes of zeroed storage.
+    #[must_use]
+    pub fn new(line_bytes: u32) -> Self {
+        Self {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            data: vec![0; line_bytes as usize],
+        }
+    }
+
+    /// Whether the line holds valid data.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Whether the line has been written since it was filled.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The tag stored with the line. Meaningless when invalid.
+    #[must_use]
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// The line's data bytes.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Fills the line with `data` under `tag`, marking it valid and clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not match the line size.
+    pub fn fill(&mut self, tag: u32, data: &[u8]) {
+        assert_eq!(data.len(), self.data.len(), "fill size mismatch");
+        self.valid = true;
+        self.dirty = false;
+        self.tag = tag;
+        self.data.copy_from_slice(data);
+    }
+
+    /// Invalidates the line, clearing the dirty bit.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+        self.dirty = false;
+    }
+
+    /// Reads `len` bytes starting at byte `offset` into the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or the line is invalid.
+    #[must_use]
+    pub fn read_bytes(&self, offset: u32, len: u32) -> &[u8] {
+        assert!(self.valid, "read from invalid line");
+        &self.data[offset as usize..(offset + len) as usize]
+    }
+
+    /// Marks the line dirty without changing data, modelling a store whose
+    /// data path is handled separately from the access bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is invalid.
+    pub fn mark_dirty(&mut self) {
+        assert!(self.valid, "write to invalid line");
+        self.dirty = true;
+    }
+
+    /// Writes `bytes` at byte `offset`, setting the dirty bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or the line is invalid.
+    pub fn write_bytes(&mut self, offset: u32, bytes: &[u8]) {
+        assert!(self.valid, "write to invalid line");
+        self.data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        self.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_line_is_invalid_and_clean() {
+        let line = CacheLine::new(32);
+        assert!(!line.is_valid());
+        assert!(!line.is_dirty());
+        assert_eq!(line.data().len(), 32);
+    }
+
+    #[test]
+    fn fill_then_read_round_trips() {
+        let mut line = CacheLine::new(8);
+        line.fill(0x3_ffff, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(line.is_valid());
+        assert!(!line.is_dirty());
+        assert_eq!(line.tag(), 0x3_ffff);
+        assert_eq!(line.read_bytes(2, 3), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn write_sets_dirty_and_updates_data() {
+        let mut line = CacheLine::new(8);
+        line.fill(7, &[0; 8]);
+        line.write_bytes(4, &[0xaa, 0xbb]);
+        assert!(line.is_dirty());
+        assert_eq!(line.read_bytes(4, 2), &[0xaa, 0xbb]);
+        assert_eq!(line.read_bytes(0, 4), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn invalidate_clears_state() {
+        let mut line = CacheLine::new(4);
+        line.fill(1, &[9; 4]);
+        line.write_bytes(0, &[1]);
+        line.invalidate();
+        assert!(!line.is_valid());
+        assert!(!line.is_dirty());
+    }
+
+    #[test]
+    #[should_panic(expected = "read from invalid line")]
+    fn reading_invalid_line_panics() {
+        let line = CacheLine::new(4);
+        let _ = line.read_bytes(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fill size mismatch")]
+    fn fill_with_wrong_size_panics() {
+        let mut line = CacheLine::new(4);
+        line.fill(0, &[0; 8]);
+    }
+}

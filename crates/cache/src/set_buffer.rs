@@ -1,0 +1,221 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Geometry, LruOrder};
+
+/// Outcome of a [`SetBuffer`] probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetBufferLookup {
+    /// The accessed set is buffered and the tag matched: the way is known
+    /// without touching the tag arrays.
+    WayKnown(u32),
+    /// The accessed set is buffered but no buffered tag matched. The buffer
+    /// proves the line's way is *not* among the buffered ways, but a full
+    /// lookup is still required.
+    SetKnownTagMiss,
+    /// The accessed set is not buffered at all.
+    SetMiss,
+}
+
+/// Yang, Yu & Zhang's *lightweight set buffer* (paper approach \[14\]), the
+/// D-cache baseline of Figures 4–5.
+///
+/// The buffer keeps, for each of a few most-recently-used **sets**, a copy of
+/// the tags of every way of that set. A subsequent access to a buffered set
+/// compares against the small buffered tags instead of activating the
+/// cache's tag arrays, and on a match activates only the matching data way.
+/// Unlike an L0 cache there is no extra-cycle penalty on a buffer miss
+/// (the full lookup proceeds as usual), but unlike the MAB the scheme
+/// "cannot exploit inter-cache-line access locality" — a stream touching a
+/// new set every access gets nothing.
+///
+/// ```
+/// use waymem_cache::{Geometry, SetBuffer, SetBufferLookup};
+///
+/// let g = Geometry::frv();
+/// let mut sb = SetBuffer::new(g, 1);
+/// let addr = 0x0001_2340;
+/// assert_eq!(sb.lookup(addr), SetBufferLookup::SetMiss);
+/// sb.refill(g.index_of(addr), &[Some(g.tag_of(addr)), None]);
+/// assert_eq!(sb.lookup(addr), SetBufferLookup::WayKnown(0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetBuffer {
+    geom: Geometry,
+    entries: Vec<Option<SetEntry>>,
+    lru: LruOrder,
+    lookups: u64,
+    way_hits: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct SetEntry {
+    index: u32,
+    tags: Vec<Option<u32>>, // per way; None = invalid way
+}
+
+impl SetBuffer {
+    /// Creates a buffer tracking up to `entries` sets of a cache shaped by
+    /// `geom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    #[must_use]
+    pub fn new(geom: Geometry, entries: usize) -> Self {
+        assert!(entries > 0, "set buffer needs at least one entry");
+        Self {
+            geom,
+            entries: vec![None; entries],
+            lru: LruOrder::new(entries),
+            lookups: 0,
+            way_hits: 0,
+        }
+    }
+
+    /// Probes the buffer for `addr`'s set and tag.
+    pub fn lookup(&mut self, addr: u32) -> SetBufferLookup {
+        self.lookups += 1;
+        let index = self.geom.index_of(addr);
+        let tag = self.geom.tag_of(addr);
+        let Some(slot) = self.slot_of(index) else {
+            return SetBufferLookup::SetMiss;
+        };
+        self.lru.touch(slot);
+        let entry = self.entries[slot].as_ref().expect("slot_of returns filled");
+        match entry
+            .tags
+            .iter()
+            .position(|t| *t == Some(tag))
+            .map(|w| w as u32)
+        {
+            Some(way) => {
+                self.way_hits += 1;
+                SetBufferLookup::WayKnown(way)
+            }
+            None => SetBufferLookup::SetKnownTagMiss,
+        }
+    }
+
+    /// Installs (or refreshes) the buffered copy of set `index` with the
+    /// cache's current per-way tags, replacing the LRU slot if the set was
+    /// not buffered.
+    pub fn refill(&mut self, index: u32, tags: &[Option<u32>]) {
+        assert_eq!(
+            tags.len(),
+            self.geom.ways() as usize,
+            "one tag per cache way"
+        );
+        let slot = match self.slot_of(index) {
+            Some(s) => s,
+            None => self.lru.victim(),
+        };
+        self.entries[slot] = Some(SetEntry {
+            index,
+            tags: tags.to_vec(),
+        });
+        self.lru.touch(slot);
+    }
+
+    /// Updates the buffered tag of (`index`, `way`) if that set is buffered.
+    /// Called after a cache fill so the buffer tracks replacements.
+    pub fn update_way(&mut self, index: u32, way: u32, tag: Option<u32>) {
+        if let Some(slot) = self.slot_of(index) {
+            if let Some(entry) = self.entries[slot].as_mut() {
+                entry.tags[way as usize] = tag;
+            }
+        }
+    }
+
+    /// Drops every buffered set.
+    pub fn clear(&mut self) {
+        self.entries.fill(None);
+    }
+
+    /// Probes performed.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Probes resolved with [`SetBufferLookup::WayKnown`].
+    #[must_use]
+    pub fn way_hits(&self) -> u64 {
+        self.way_hits
+    }
+
+    /// Number of set slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn slot_of(&self, index: u32) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| matches!(e, Some(se) if se.index == index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Geometry, SetBuffer) {
+        let g = Geometry::new(16, 2, 16).unwrap();
+        (g, SetBuffer::new(g, 2))
+    }
+
+    #[test]
+    fn miss_then_refill_then_way_hit() {
+        let (g, mut sb) = setup();
+        let addr = 0x1230;
+        assert_eq!(sb.lookup(addr), SetBufferLookup::SetMiss);
+        sb.refill(g.index_of(addr), &[None, Some(g.tag_of(addr))]);
+        assert_eq!(sb.lookup(addr), SetBufferLookup::WayKnown(1));
+        assert_eq!(sb.way_hits(), 1);
+    }
+
+    #[test]
+    fn same_set_different_tag_is_tag_miss() {
+        let (g, mut sb) = setup();
+        let a = 0x0030; // set from bits [7:4]
+        let b = a + g.sets() * g.line_bytes(); // same index, different tag
+        assert_eq!(g.index_of(a), g.index_of(b));
+        sb.refill(g.index_of(a), &[Some(g.tag_of(a)), None]);
+        assert_eq!(sb.lookup(b), SetBufferLookup::SetKnownTagMiss);
+    }
+
+    #[test]
+    fn lru_replacement_of_sets() {
+        let (g, mut sb) = setup();
+        sb.refill(0, &[Some(1), None]);
+        sb.refill(1, &[Some(1), None]);
+        let _ = sb.lookup(g.line_addr(1, 0)); // touch set 0
+        sb.refill(2, &[Some(1), None]); // evicts set 1
+        assert_eq!(sb.lookup(g.line_addr(1, 1)), SetBufferLookup::SetMiss);
+        assert_eq!(
+            sb.lookup(g.line_addr(1, 0)),
+            SetBufferLookup::WayKnown(0)
+        );
+    }
+
+    #[test]
+    fn update_way_tracks_cache_fill() {
+        let (g, mut sb) = setup();
+        sb.refill(3, &[Some(7), Some(8)]);
+        sb.update_way(3, 0, Some(9));
+        let addr = g.line_addr(9, 3);
+        assert_eq!(sb.lookup(addr), SetBufferLookup::WayKnown(0));
+        // Unbuffered set updates are ignored silently.
+        sb.update_way(5, 0, Some(1));
+        assert_eq!(sb.lookup(g.line_addr(1, 5)), SetBufferLookup::SetMiss);
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let (_, mut sb) = setup();
+        sb.refill(0, &[Some(1), None]);
+        sb.clear();
+        assert_eq!(sb.lookup(0), SetBufferLookup::SetMiss);
+    }
+}

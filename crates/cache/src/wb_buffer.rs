@@ -1,0 +1,201 @@
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::MainMemory;
+
+/// A small FIFO write-back buffer between the cache and main memory.
+///
+/// The FR-V "uses a write-back buffer which makes it possible to access only
+/// a single way for store instructions" (paper §4): the store's data can wait
+/// in the buffer while the tag comparison resolves the way, so only the one
+/// matching data way is ever activated for a store. This module models the
+/// buffering itself (entries, coalescing, drain-to-memory); the *accounting*
+/// consequence — stores cost 1 way activation instead of W — is applied by
+/// the front-ends.
+///
+/// ```
+/// use waymem_cache::{MainMemory, WriteBackBuffer};
+///
+/// let mut mem = MainMemory::new();
+/// let mut wbb = WriteBackBuffer::new(4, 8);
+/// wbb.push(0x100, vec![1; 8]);
+/// wbb.push(0x100, vec![2; 8]);     // coalesces with the pending entry
+/// assert_eq!(wbb.occupancy(), 1);
+/// wbb.drain_all(&mut mem);
+/// assert_eq!(mem.read_u8(0x100), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteBackBuffer {
+    capacity: usize,
+    line_bytes: u32,
+    entries: VecDeque<(u32, Vec<u8>)>,
+    pushes: u64,
+    coalesced: u64,
+    drains: u64,
+    stalls: u64,
+}
+
+impl WriteBackBuffer {
+    /// Creates a buffer holding up to `capacity` lines of `line_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, line_bytes: u32) -> Self {
+        assert!(capacity > 0, "write-back buffer needs at least one entry");
+        Self {
+            capacity,
+            line_bytes,
+            entries: VecDeque::with_capacity(capacity),
+            pushes: 0,
+            coalesced: 0,
+            drains: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Queues a dirty line for write-back. If the same line address is
+    /// already pending, the data is coalesced (overwritten). If the buffer
+    /// is full, the oldest entry is force-drained first and a stall is
+    /// recorded — the drain needs a memory reference, so the caller should
+    /// pass memory via [`drain_all`](Self::drain_all) or
+    /// [`push_with_drain`](Self::push_with_drain) when it cares about data.
+    pub fn push(&mut self, line_addr: u32, data: Vec<u8>) {
+        assert_eq!(
+            data.len(),
+            self.line_bytes as usize,
+            "write-back entry size mismatch"
+        );
+        self.pushes += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|(a, _)| *a == line_addr) {
+            entry.1 = data;
+            self.coalesced += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            // No memory handle: the entry is dropped by this path. Callers
+            // that carry data use push_with_drain.
+            self.entries.pop_front();
+            self.stalls += 1;
+        }
+        self.entries.push_back((line_addr, data));
+    }
+
+    /// Queues a dirty line, draining the oldest entry to `mem` first when
+    /// the buffer is full.
+    pub fn push_with_drain(&mut self, line_addr: u32, data: Vec<u8>, mem: &mut MainMemory) {
+        if self.entries.len() == self.capacity
+            && !self.entries.iter().any(|(a, _)| *a == line_addr)
+        {
+            if let Some((addr, bytes)) = self.entries.pop_front() {
+                mem.write_block(addr, &bytes);
+                self.drains += 1;
+                self.stalls += 1;
+            }
+        }
+        self.push(line_addr, data);
+    }
+
+    /// Returns pending data for `line_addr` if it is waiting in the buffer
+    /// (a load must snoop the buffer to stay coherent).
+    #[must_use]
+    pub fn snoop(&self, line_addr: u32) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .find(|(a, _)| *a == line_addr)
+            .map(|(_, d)| d.as_slice())
+    }
+
+    /// Writes every pending entry to `mem`, oldest first.
+    pub fn drain_all(&mut self, mem: &mut MainMemory) {
+        while let Some((addr, bytes)) = self.entries.pop_front() {
+            mem.write_block(addr, &bytes);
+            self.drains += 1;
+        }
+    }
+
+    /// Number of pending entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total lines pushed (including coalesced).
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Pushes absorbed by coalescing with a pending entry.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Entries drained to memory.
+    #[must_use]
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// Full-buffer events that forced an early drain (or drop).
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_keeps_latest_data() {
+        let mut wbb = WriteBackBuffer::new(2, 4);
+        wbb.push(0x10, vec![1; 4]);
+        wbb.push(0x10, vec![2; 4]);
+        assert_eq!(wbb.occupancy(), 1);
+        assert_eq!(wbb.coalesced(), 1);
+        assert_eq!(wbb.snoop(0x10), Some([2u8; 4].as_slice()));
+    }
+
+    #[test]
+    fn full_buffer_drains_oldest_with_memory() {
+        let mut mem = MainMemory::new();
+        let mut wbb = WriteBackBuffer::new(2, 4);
+        wbb.push_with_drain(0x00, vec![1; 4], &mut mem);
+        wbb.push_with_drain(0x10, vec![2; 4], &mut mem);
+        wbb.push_with_drain(0x20, vec![3; 4], &mut mem);
+        assert_eq!(wbb.occupancy(), 2);
+        assert_eq!(wbb.stalls(), 1);
+        assert_eq!(mem.read_u8(0x00), 1, "oldest entry landed in memory");
+        assert_eq!(wbb.snoop(0x00), None);
+    }
+
+    #[test]
+    fn drain_all_flushes_in_order() {
+        let mut mem = MainMemory::new();
+        let mut wbb = WriteBackBuffer::new(4, 4);
+        wbb.push(0x00, vec![1; 4]);
+        wbb.push(0x10, vec![2; 4]);
+        wbb.drain_all(&mut mem);
+        assert_eq!(wbb.occupancy(), 0);
+        assert_eq!(wbb.drains(), 2);
+        assert_eq!(mem.read_u8(0x10), 2);
+    }
+
+    #[test]
+    fn snoop_misses_absent_lines() {
+        let wbb = WriteBackBuffer::new(2, 4);
+        assert_eq!(wbb.snoop(0x40), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_line_size_panics() {
+        let mut wbb = WriteBackBuffer::new(2, 8);
+        wbb.push(0, vec![0; 4]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the cache substrate: functional equivalence
+//! with flat memory, inclusion/LRU invariants and accounting consistency
+//! under random access streams.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use waymem_cache::{AccessKind, Geometry, LruOrder, MainMemory, SetAssocCache};
+
+fn geometries() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        Just(Geometry::new(4, 1, 8).unwrap()),
+        Just(Geometry::new(4, 2, 16).unwrap()),
+        Just(Geometry::new(16, 4, 32).unwrap()),
+        Just(Geometry::new(8, 8, 16).unwrap()),
+    ]
+}
+
+proptest! {
+    /// Reads through the cache always return what a flat memory would,
+    /// for any interleaving of loads and stores, and a final flush leaves
+    /// memory equal to the model.
+    #[test]
+    fn cache_is_functionally_transparent(
+        geom in geometries(),
+        ops in prop::collection::vec((any::<u16>(), any::<u32>(), any::<bool>()), 1..300),
+    ) {
+        let mut cache = SetAssocCache::new(geom);
+        let mut mem = MainMemory::new();
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        for (addr16, value, is_store) in ops {
+            let addr = u32::from(addr16) & !3;
+            if is_store {
+                cache.access(addr, AccessKind::Store, &mut mem);
+                prop_assert!(cache.write_u32(addr, value));
+                model.insert(addr, value);
+            } else {
+                cache.access(addr, AccessKind::Load, &mut mem);
+                let got = cache.read_u32(addr).expect("line resident after access");
+                let want = model.get(&addr).copied().unwrap_or(0);
+                prop_assert_eq!(got, want);
+            }
+        }
+        cache.flush(&mut mem);
+        for (&addr, &value) in &model {
+            prop_assert_eq!(mem.read_u32(addr), value);
+        }
+    }
+
+    /// The number of resident lines never exceeds capacity, and a probe
+    /// after an access always finds the line.
+    #[test]
+    fn residency_invariants(
+        geom in geometries(),
+        addrs in prop::collection::vec(any::<u16>(), 1..200),
+    ) {
+        let mut cache = SetAssocCache::new(geom);
+        let mut mem = MainMemory::new();
+        let capacity = u64::from(geom.sets()) * u64::from(geom.ways());
+        for addr16 in addrs {
+            let addr = u32::from(addr16);
+            let out = cache.access(addr, AccessKind::Load, &mut mem);
+            prop_assert_eq!(cache.probe(addr), Some(out.way));
+            prop_assert!(cache.resident_lines() <= capacity);
+            prop_assert_eq!(out.index, geom.index_of(addr));
+        }
+    }
+
+    /// Evictions only happen in the accessed set and report the true
+    /// former occupant.
+    #[test]
+    fn evictions_are_local_and_accurate(
+        addrs in prop::collection::vec(any::<u16>(), 1..200),
+    ) {
+        let geom = Geometry::new(4, 2, 16).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        let mut mem = MainMemory::new();
+        let mut resident: HashMap<(u32, u32), u32> = HashMap::new(); // (set, way) -> tag
+        for addr16 in addrs {
+            let addr = u32::from(addr16);
+            let out = cache.access(addr, AccessKind::Load, &mut mem);
+            if let Some(ev) = out.evicted {
+                prop_assert_eq!(ev.index, out.index, "eviction outside accessed set");
+                prop_assert_eq!(ev.way, out.way);
+                let prior = resident.get(&(ev.index, ev.way)).copied();
+                prop_assert_eq!(prior, Some(ev.tag), "evicted tag mismatch");
+            }
+            resident.insert((out.index, out.way), geom.tag_of(addr));
+        }
+    }
+
+    /// LruOrder::touch keeps `iter()` a permutation and `victim`/`mru`
+    /// coherent with it.
+    #[test]
+    fn lru_is_always_a_permutation(
+        n in 1usize..16,
+        touches in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let mut lru = LruOrder::new(n);
+        for t in touches {
+            lru.touch(usize::from(t) % n);
+            let mut seen: Vec<usize> = lru.iter().collect();
+            prop_assert_eq!(seen.len(), n);
+            prop_assert_eq!(lru.mru(), seen[0]);
+            prop_assert_eq!(lru.victim(), *seen.last().unwrap());
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// Fill counts equal miss counts: every miss fills exactly one line.
+    #[test]
+    fn fills_equal_misses(addrs in prop::collection::vec(any::<u16>(), 1..200)) {
+        let geom = Geometry::new(8, 2, 16).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        let mut mem = MainMemory::new();
+        let mut misses = 0u64;
+        for addr16 in addrs {
+            let out = cache.access(u32::from(addr16), AccessKind::Load, &mut mem);
+            if !out.hit {
+                misses += 1;
+            }
+        }
+        prop_assert_eq!(cache.fills(), misses);
+        prop_assert_eq!(mem.block_reads(), misses);
+    }
+}

@@ -1,0 +1,68 @@
+//! # waymem-core — the Memory Address Buffer (MAB)
+//!
+//! This crate implements the contribution of Ishihara & Fallah, *"A Way
+//! Memoization Technique for Reducing Power Consumption of Caches in
+//! Application Specific Integrated Processors"* (DATE 2005): a small buffer
+//! of most-recently-used addresses that lets a set-associative cache skip
+//! **all tag-array reads** and **all but one data-way read** whenever the
+//! buffer hits — with *no* cycle-time or CPI penalty.
+//!
+//! ## Why the MAB can run in parallel with address generation
+//!
+//! A load/store address is `base + displacement`, and displacements are
+//! almost always small (the paper measures > 99 % with `|disp| < 2^13`).
+//! When the sign-extended upper 18 bits of the displacement are all-0 or
+//! all-1, the full 32-bit sum is determined by
+//!
+//! * the upper 18 bits of the **base** (compared against a stored tag),
+//! * the **carry** out of a 14-bit add of the low bits, and
+//! * the displacement's **sign**,
+//!
+//! so a 14-bit adder plus two small comparators — faster than the 32-bit
+//! AGU adder — suffice to decide whether the access matches a memoized
+//! address. [`SmallAdder`] models that datapath and
+//! [`SmallAdder::effective_tag`] proves the reconstruction.
+//!
+//! ## Structure
+//!
+//! The [`Mab`] keeps `N_t` *tag entries* (18-bit base tag + 2-bit
+//! [`Cflag`]) and `N_s` *set-index entries* (9 bits) and a cross-product
+//! validity matrix `vflag[N_t][N_s]` with a memoized way number per valid
+//! pair — so a 2×8 MAB covers up to 16 distinct addresses with the storage
+//! of 2 tags and 8 indices. Rows and columns are replaced LRU, exactly per
+//! the four update cases of the paper's §3.3.
+//!
+//! ## Soundness
+//!
+//! A MAB hit must *never* lie: the memoized way is used without any tag
+//! check, so a stale entry would return wrong data. [`Mab::invalidate_location`]
+//! is called by the cache front-end whenever a line is filled/evicted, and
+//! the crate's property tests check the invariant "every valid MAB pair
+//! points at a line actually resident in that way".
+//!
+//! ```
+//! use waymem_cache::Geometry;
+//! use waymem_core::{Mab, MabConfig, MabLookup};
+//!
+//! # fn main() -> Result<(), waymem_core::MabConfigError> {
+//! let cfg = MabConfig::new(Geometry::frv(), 2, 8)?; // the paper's D-MAB
+//! let mut mab = Mab::new(cfg);
+//!
+//! let (base, disp) = (0x0001_2340, 8);
+//! assert!(matches!(mab.lookup(base, disp), waymem_core::MabLookup::Miss { .. }));
+//! mab.record(base, disp, 1);                 // cache resolved way 1
+//! assert!(matches!(mab.lookup(base, disp), MabLookup::Hit { way: 1, .. }));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod adder;
+mod config;
+mod mab;
+
+pub use adder::{DispClass, LowAdd, SmallAdder};
+pub use config::{Cflag, MabConfig, MabConfigError};
+pub use mab::{Mab, MabLookup, MabStats, RecordOutcome};

@@ -1,0 +1,103 @@
+//! Critical-path delay model, calibrated against the paper's Table 2.
+//!
+//! The MAB's critical path (Figure 3) is the narrow adder followed by the
+//! set-index comparators whose match lines fan out across the entry array.
+//! The paper's synthesis shows ~1.0 ns for small MABs, creeping up to
+//! 1.16 ns at 32 entries — always far below the 2.5 ns cycle, which is the
+//! "no delay penalty" claim.
+
+use crate::{MabShape, Technology};
+
+/// Carry-lookahead adder delay for the narrow adder, ns at 0.13 µm
+/// (logarithmic in width; fitted so a 14-bit adder costs ~0.72 ns).
+fn adder_delay_ns(bits: u32) -> f64 {
+    0.19 * f64::from(bits.max(2)).log2()
+}
+
+/// Comparator delay (XNOR + AND tree), ns.
+fn comparator_delay_ns(bits: u32) -> f64 {
+    0.08 + 0.055 * f64::from(bits.max(2)).log2()
+}
+
+/// Extra settle time of the match/select network as the entry array grows
+/// (wire RC + wider OR): kicks in above 8 entries.
+fn fanout_delay_ns(entries: u32) -> f64 {
+    let lg = f64::from(entries.max(1)).log2();
+    0.08 * (lg - 3.0).max(0.0)
+}
+
+/// MAB critical-path delay in ns: narrow adder + set-index comparator +
+/// match-line fan-out, plus a small row-select term for multi-tag MABs.
+///
+/// ```
+/// use waymem_hwmodel::{mab_delay_ns, MabShape, Technology};
+///
+/// let tech = Technology::frv_0130();
+/// let d = mab_delay_ns(MabShape::frv(2, 16), tech);
+/// assert!(d < tech.cycle_ns(), "the paper's no-penalty claim");
+/// ```
+#[must_use]
+pub fn mab_delay_ns(shape: MabShape, tech: Technology) -> f64 {
+    let s = tech.scale_from_130();
+    let path = adder_delay_ns(shape.adder_bits)
+        + comparator_delay_ns(shape.set_entry_bits)
+        + fanout_delay_ns(shape.set_entries)
+        + 0.02 * f64::from(shape.tag_entries.saturating_sub(1));
+    path * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 2, ns: rows N_t ∈ {1, 2}, columns N_s ∈ {4, 8, 16, 32}.
+    const TABLE2: [[f64; 4]; 2] = [
+        [1.00, 1.00, 1.08, 1.14],
+        [1.02, 1.02, 1.08, 1.16],
+    ];
+
+    #[test]
+    fn table2_reproduced_within_tolerance() {
+        let tech = Technology::frv_0130();
+        for (r, &nt) in [1u32, 2].iter().enumerate() {
+            for (c, &ns) in [4u32, 8, 16, 32].iter().enumerate() {
+                let model = mab_delay_ns(MabShape::frv(nt, ns), tech);
+                let paper = TABLE2[r][c];
+                let rel = (model - paper).abs() / paper;
+                assert!(
+                    rel < 0.08,
+                    "delay({nt}x{ns}) = {model:.3} vs paper {paper:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_configuration_fits_the_cycle() {
+        let tech = Technology::frv_0130();
+        for nt in [1u32, 2] {
+            for ns in [4u32, 8, 16, 32] {
+                assert!(mab_delay_ns(MabShape::frv(nt, ns), tech) < tech.cycle_ns());
+            }
+        }
+    }
+
+    #[test]
+    fn delay_monotone_in_set_entries() {
+        let tech = Technology::frv_0130();
+        let d8 = mab_delay_ns(MabShape::frv(2, 8), tech);
+        let d16 = mab_delay_ns(MabShape::frv(2, 16), tech);
+        let d32 = mab_delay_ns(MabShape::frv(2, 32), tech);
+        assert!(d8 <= d16 && d16 < d32);
+    }
+
+    #[test]
+    fn narrow_adder_beats_a_32_bit_agu() {
+        // The whole trick: the 14-bit adder + comparator runs in parallel
+        // with (and finishes before) the 32-bit address adder.
+        let agu_32 = adder_delay_ns(32) + 0.15; // + register setup
+        let mab = mab_delay_ns(MabShape::frv(2, 8), Technology::frv_0130());
+        assert!(adder_delay_ns(14) < agu_32);
+        assert!(mab < 2.5);
+    }
+}

@@ -1,0 +1,40 @@
+//! # waymem-hwmodel — analytical CMOS area / delay / power models
+//!
+//! The paper evaluates its circuits with SYNOPSYS Design Compiler (area,
+//! delay; Tables 1–2), NanoSim/SPICE (MAB power; Table 3) and per-access
+//! SRAM energies for Eq. (1), all on Fujitsu's 0.13 µm / 1.3 V process at
+//! 360 MHz. None of those tools or libraries are available, so this crate
+//! provides **first-order analytical models** of the same quantities:
+//!
+//! * flip-flop/comparator/adder area with an `N³` selection-network term
+//!   (the replacement/selection logic of an `N`-entry LRU structure grows
+//!   superlinearly — this is what makes the paper's 32-entry column blow
+//!   up to 0.31 mm²),
+//! * a carry-lookahead-adder + comparator critical path with a fan-out
+//!   term for wide entry arrays,
+//! * clocked active power (per-bit) plus leakage sleep power, and
+//! * bitline/sense-amp SRAM array read energy for the cache's data ways
+//!   and tag arrays.
+//!
+//! Every constant is *fitted once* against the published tables; the unit
+//! tests pin each model to the paper's numbers within tolerance, so the
+//! regenerated Tables 1–3 keep the published shape. The models are
+//! parametric in the structure's geometry, which is what the ablation
+//! sweeps need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod area;
+mod delay;
+mod energy;
+mod power;
+mod shapes;
+mod technology;
+
+pub use area::{cache_area_mm2, mab_area_mm2};
+pub use delay::mab_delay_ns;
+pub use energy::{cache_energies, CacheEnergies, EnergyCounts, PowerBreakdown};
+pub use power::{mab_power_mw, MabPower};
+pub use shapes::{CacheShape, MabShape};
+pub use technology::Technology;

@@ -1,0 +1,887 @@
+//! Two-pass assembler for frv-lite.
+//!
+//! Supports `.text`/`.data` sections, labels, the data directives `.word`,
+//! `.half`, `.byte`, `.space`, `.align`, `.asciz`, the constant directive
+//! `.equ`, and the pseudo-instructions `nop`, `mv`, `li`, `la`, `j`, `jr`,
+//! `ret`, `call`, `beqz`, `bnez`, `bgt`, `ble`, `neg`, `not`. Comments start
+//! with `#` or `;`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{AluImmOp, AluOp, MemWidth};
+use crate::{BranchCond, Inst, Program, Reg, DATA_BASE, TEXT_BASE};
+
+/// Assembly error with the 1-based source line where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The specific assembly failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Mnemonic not recognized.
+    UnknownMnemonic(String),
+    /// Directive not recognized.
+    UnknownDirective(String),
+    /// Wrong operand count or malformed operand.
+    BadOperand(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced symbol was never defined.
+    UndefinedSymbol(String),
+    /// An immediate or offset does not fit its encoding field.
+    OutOfRange(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::BadOperand(msg) => write!(f, "bad operand: {msg}"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::OutOfRange(msg) => write!(f, "value out of range: {msg}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, kind: AsmErrorKind) -> AsmError {
+    AsmError { line, kind }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+#[derive(Debug)]
+enum Item {
+    Inst {
+        line: usize,
+        addr: u32,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+    DataExpr {
+        line: usize,
+        addr: u32,
+        width: u32,
+        exprs: Vec<String>,
+    },
+    Bytes {
+        addr: u32,
+        bytes: Vec<u8>,
+    },
+}
+
+/// Assembles frv-lite source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a line-numbered [`AsmError`] for syntax errors, unknown
+/// mnemonics, undefined or duplicate labels and out-of-range immediates.
+///
+/// ```
+/// use waymem_isa::assemble;
+///
+/// let err = assemble(".text\nmain: j nowhere\n").unwrap_err();
+/// assert_eq!(err.line, 2);
+/// ```
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut section = Section::Text;
+    let mut text_lc = TEXT_BASE;
+    let mut data_lc = DATA_BASE;
+
+    // Pass 1: layout, labels, pseudo-instruction sizing.
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line.as_str();
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = find_label(rest) {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            let target = match section {
+                Section::Text => text_lc,
+                Section::Data => data_lc,
+            };
+            if symbols.insert(label.to_owned(), target).is_some() {
+                return Err(err(line_no, AsmErrorKind::DuplicateLabel(label.to_owned())));
+            }
+            rest = tail[1..].trim_start();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            let (name, args) = split_first_word(directive);
+            match name {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "equ" => {
+                    let parts = split_operands(args);
+                    if parts.len() != 2 {
+                        return Err(err(
+                            line_no,
+                            AsmErrorKind::BadOperand(".equ name, value".into()),
+                        ));
+                    }
+                    let value = parse_int(&parts[1])
+                        .ok_or_else(|| err(line_no, AsmErrorKind::BadOperand(parts[1].clone())))?;
+                    if symbols.insert(parts[0].clone(), value as u32).is_some() {
+                        return Err(err(line_no, AsmErrorKind::DuplicateLabel(parts[0].clone())));
+                    }
+                }
+                "word" | "half" | "byte" => {
+                    let width = match name {
+                        "word" => 4,
+                        "half" => 2,
+                        _ => 1,
+                    };
+                    if section != Section::Data {
+                        return Err(err(
+                            line_no,
+                            AsmErrorKind::BadOperand("data directive outside .data".into()),
+                        ));
+                    }
+                    let exprs = split_operands(args);
+                    items.push(Item::DataExpr {
+                        line: line_no,
+                        addr: data_lc,
+                        width,
+                        exprs: exprs.clone(),
+                    });
+                    data_lc += width * exprs.len() as u32;
+                }
+                "space" => {
+                    let n = parse_int(args.trim())
+                        .ok_or_else(|| err(line_no, AsmErrorKind::BadOperand(args.into())))?;
+                    data_lc += n as u32;
+                }
+                "align" => {
+                    let n = parse_int(args.trim())
+                        .ok_or_else(|| err(line_no, AsmErrorKind::BadOperand(args.into())))?;
+                    let a = 1u32 << n;
+                    match section {
+                        Section::Data => data_lc = (data_lc + a - 1) & !(a - 1),
+                        Section::Text => text_lc = (text_lc + a - 1) & !(a - 1),
+                    }
+                }
+                "asciz" => {
+                    let s = parse_string(args.trim())
+                        .ok_or_else(|| err(line_no, AsmErrorKind::BadOperand(args.into())))?;
+                    let mut bytes = s.into_bytes();
+                    bytes.push(0);
+                    let len = bytes.len() as u32;
+                    items.push(Item::Bytes {
+                        addr: data_lc,
+                        bytes,
+                    });
+                    data_lc += len;
+                }
+                other => {
+                    return Err(err(
+                        line_no,
+                        AsmErrorKind::UnknownDirective(other.to_owned()),
+                    ))
+                }
+            }
+            continue;
+        }
+        // Instruction (or pseudo). Determine its encoded size now.
+        let (mnemonic, args) = split_first_word(rest);
+        let operands = split_operands(args);
+        let words = pseudo_size(mnemonic, &operands);
+        items.push(Item::Inst {
+            line: line_no,
+            addr: text_lc,
+            mnemonic: mnemonic.to_owned(),
+            operands,
+        });
+        text_lc += 4 * words;
+    }
+
+    // Pass 2: encode.
+    let mut text: Vec<u32> = Vec::new();
+    let mut data: Vec<u8> = vec![0; (data_lc - DATA_BASE) as usize];
+    for item in &items {
+        match item {
+            Item::Inst {
+                line,
+                addr,
+                mnemonic,
+                operands,
+            } => {
+                let insts = encode_inst(*line, *addr, mnemonic, operands, &symbols)?;
+                debug_assert_eq!(insts.len() as u32, pseudo_size(mnemonic, operands));
+                debug_assert_eq!(TEXT_BASE + 4 * text.len() as u32, *addr);
+                text.extend(insts.iter().map(|i| i.encode()));
+            }
+            Item::DataExpr {
+                line,
+                addr,
+                width,
+                exprs,
+            } => {
+                let mut at = (*addr - DATA_BASE) as usize;
+                for e in exprs {
+                    let v = eval_expr(*line, e, &symbols)? as u32;
+                    for b in 0..*width {
+                        data[at] = (v >> (8 * b)) as u8;
+                        at += 1;
+                    }
+                }
+            }
+            Item::Bytes { addr, bytes } => {
+                let at = (*addr - DATA_BASE) as usize;
+                data[at..at + bytes.len()].copy_from_slice(bytes);
+            }
+        }
+    }
+
+    let entry = symbols.get("main").copied().unwrap_or(TEXT_BASE);
+    Ok(Program::from_parts(
+        TEXT_BASE, text, DATA_BASE, data, entry, symbols,
+    ))
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Respect string literals for .asciz.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' | ';' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Finds the colon ending a leading label, ignoring colons inside operands.
+fn find_label(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let head = &s[..colon];
+    head.chars()
+        .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        .then_some(colon)
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    if s.trim().is_empty() {
+        return Vec::new();
+    }
+    s.split(',').map(|p| p.trim().to_owned()).collect()
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(rest, 16).ok();
+    }
+    if let Some(rest) = s.strip_prefix("-0x").or_else(|| s.strip_prefix("-0X")) {
+        return i64::from_str_radix(rest, 16).ok().map(|v| -v);
+    }
+    if let Some(rest) = s.strip_prefix("0b") {
+        return i64::from_str_radix(rest, 2).ok();
+    }
+    if s.len() == 3 && s.starts_with('\'') && s.ends_with('\'') {
+        return Some(i64::from(s.as_bytes()[1]));
+    }
+    s.parse::<i64>().ok()
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '0' => out.push('\0'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                other => out.push(other),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Number of encoded words a (pseudo-)instruction occupies.
+fn pseudo_size(mnemonic: &str, operands: &[String]) -> u32 {
+    match mnemonic {
+        "li" => {
+            // Fits addi? One word. Otherwise lui+ori.
+            match operands.get(1).and_then(|s| parse_int(s)) {
+                Some(v) if (-32768..=32767).contains(&v) => 1,
+                _ => 2,
+            }
+        }
+        "la" => 2,
+        _ => 1,
+    }
+}
+
+fn eval_expr(line: usize, expr: &str, symbols: &BTreeMap<String, u32>) -> Result<i64, AsmError> {
+    let expr = expr.trim();
+    if let Some(v) = parse_int(expr) {
+        return Ok(v);
+    }
+    // label, label+int, label-int
+    for (i, c) in expr.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let (name, off) = expr.split_at(i);
+            let base = lookup(line, name.trim(), symbols)?;
+            let off = parse_int(off)
+                .ok_or_else(|| err(line, AsmErrorKind::BadOperand(expr.to_owned())))?;
+            return Ok(i64::from(base) + off);
+        }
+    }
+    lookup(line, expr, symbols).map(i64::from)
+}
+
+fn lookup(line: usize, name: &str, symbols: &BTreeMap<String, u32>) -> Result<u32, AsmError> {
+    symbols
+        .get(name)
+        .copied()
+        .ok_or_else(|| err(line, AsmErrorKind::UndefinedSymbol(name.to_owned())))
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    s.parse::<Reg>()
+        .map_err(|e| err(line, AsmErrorKind::BadOperand(e.to_string())))
+}
+
+/// Parses `imm(reg)` / `(reg)` / `label(reg)` memory operands.
+fn parse_mem(
+    line: usize,
+    s: &str,
+    symbols: &BTreeMap<String, u32>,
+) -> Result<(Reg, i16), AsmError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, AsmErrorKind::BadOperand(format!("`{s}` is not imm(reg)"))))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| err(line, AsmErrorKind::BadOperand(format!("`{s}` is not imm(reg)"))))?;
+    let reg = parse_reg(line, s[open + 1..close].trim())?;
+    let immpart = s[..open].trim();
+    let imm = if immpart.is_empty() {
+        0
+    } else {
+        eval_expr(line, immpart, symbols)?
+    };
+    let imm = i16::try_from(imm)
+        .map_err(|_| err(line, AsmErrorKind::OutOfRange(format!("displacement {imm}"))))?;
+    Ok((reg, imm))
+}
+
+fn to_i16(line: usize, v: i64, what: &str) -> Result<i16, AsmError> {
+    i16::try_from(v).map_err(|_| err(line, AsmErrorKind::OutOfRange(format!("{what} {v}"))))
+}
+
+fn branch_offset(line: usize, addr: u32, target: i64) -> Result<i16, AsmError> {
+    let off = target - i64::from(addr);
+    if off % 4 != 0 {
+        return Err(err(
+            line,
+            AsmErrorKind::OutOfRange(format!("unaligned branch offset {off}")),
+        ));
+    }
+    to_i16(line, off, "branch offset")
+}
+
+fn encode_inst(
+    line: usize,
+    addr: u32,
+    mnemonic: &str,
+    ops: &[String],
+    symbols: &BTreeMap<String, u32>,
+) -> Result<Vec<Inst>, AsmError> {
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                AsmErrorKind::BadOperand(format!(
+                    "`{mnemonic}` expects {n} operands, got {}",
+                    ops.len()
+                )),
+            ))
+        }
+    };
+    let reg = |i: usize| parse_reg(line, &ops[i]);
+    let imm16 = |i: usize| -> Result<i16, AsmError> {
+        let v = eval_expr(line, &ops[i], symbols)?;
+        to_i16(line, v, "immediate")
+    };
+    let target16 = |i: usize| -> Result<i16, AsmError> {
+        let t = eval_expr(line, &ops[i], symbols)?;
+        branch_offset(line, addr, t)
+    };
+
+    let alu = |op: AluOp| -> Result<Vec<Inst>, AsmError> {
+        want(3)?;
+        Ok(vec![Inst::Alu {
+            op,
+            rd: reg(0)?,
+            rs1: reg(1)?,
+            rs2: reg(2)?,
+        }])
+    };
+    let alu_imm = |op: AluImmOp| -> Result<Vec<Inst>, AsmError> {
+        want(3)?;
+        Ok(vec![Inst::AluImm {
+            op,
+            rd: reg(0)?,
+            rs1: reg(1)?,
+            imm: imm16(2)?,
+        }])
+    };
+    let load = |width: MemWidth, signed: bool| -> Result<Vec<Inst>, AsmError> {
+        want(2)?;
+        let (rs1, imm) = parse_mem(line, &ops[1], symbols)?;
+        Ok(vec![Inst::Load {
+            width,
+            signed,
+            rd: reg(0)?,
+            rs1,
+            imm,
+        }])
+    };
+    let store = |width: MemWidth| -> Result<Vec<Inst>, AsmError> {
+        want(2)?;
+        let (rs1, imm) = parse_mem(line, &ops[1], symbols)?;
+        Ok(vec![Inst::Store {
+            width,
+            rs2: reg(0)?,
+            rs1,
+            imm,
+        }])
+    };
+    let branch = |cond: BranchCond, swap: bool| -> Result<Vec<Inst>, AsmError> {
+        want(3)?;
+        let (a, b) = if swap { (1, 0) } else { (0, 1) };
+        Ok(vec![Inst::Branch {
+            cond,
+            rs1: reg(a)?,
+            rs2: reg(b)?,
+            offset: target16(2)?,
+        }])
+    };
+
+    match mnemonic {
+        "add" => alu(AluOp::Add),
+        "sub" => alu(AluOp::Sub),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "sll" => alu(AluOp::Sll),
+        "srl" => alu(AluOp::Srl),
+        "sra" => alu(AluOp::Sra),
+        "slt" => alu(AluOp::Slt),
+        "sltu" => alu(AluOp::Sltu),
+        "mul" => alu(AluOp::Mul),
+        "mulhu" => alu(AluOp::Mulhu),
+        "div" => alu(AluOp::Div),
+        "rem" => alu(AluOp::Rem),
+        "addi" => alu_imm(AluImmOp::Addi),
+        "andi" => alu_imm(AluImmOp::Andi),
+        "ori" => alu_imm(AluImmOp::Ori),
+        "xori" => alu_imm(AluImmOp::Xori),
+        "slti" => alu_imm(AluImmOp::Slti),
+        "slli" => alu_imm(AluImmOp::Slli),
+        "srli" => alu_imm(AluImmOp::Srli),
+        "srai" => alu_imm(AluImmOp::Srai),
+        "lui" => {
+            want(2)?;
+            let v = eval_expr(line, &ops[1], symbols)?;
+            let imm = u16::try_from(v)
+                .map_err(|_| err(line, AsmErrorKind::OutOfRange(format!("lui immediate {v}"))))?;
+            Ok(vec![Inst::Lui { rd: reg(0)?, imm }])
+        }
+        "lb" => load(MemWidth::Byte, true),
+        "lbu" => load(MemWidth::Byte, false),
+        "lh" => load(MemWidth::Half, true),
+        "lhu" => load(MemWidth::Half, false),
+        "lw" => load(MemWidth::Word, true),
+        "sb" => store(MemWidth::Byte),
+        "sh" => store(MemWidth::Half),
+        "sw" => store(MemWidth::Word),
+        "beq" => branch(BranchCond::Eq, false),
+        "bne" => branch(BranchCond::Ne, false),
+        "blt" => branch(BranchCond::Lt, false),
+        "bge" => branch(BranchCond::Ge, false),
+        "bltu" => branch(BranchCond::Ltu, false),
+        "bgeu" => branch(BranchCond::Geu, false),
+        "bgt" => branch(BranchCond::Lt, true),
+        "ble" => branch(BranchCond::Ge, true),
+        "jal" => {
+            want(2)?;
+            Ok(vec![Inst::Jal {
+                rd: reg(0)?,
+                offset: target16(1)?,
+            }])
+        }
+        "jalr" => {
+            want(2)?;
+            let (rs1, imm) = parse_mem(line, &ops[1], symbols)?;
+            Ok(vec![Inst::Jalr {
+                rd: reg(0)?,
+                rs1,
+                imm,
+            }])
+        }
+        "halt" => {
+            want(0)?;
+            Ok(vec![Inst::Halt])
+        }
+        // ---- pseudo-instructions ----
+        "nop" => {
+            want(0)?;
+            Ok(vec![Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                imm: 0,
+            }])
+        }
+        "mv" => {
+            want(2)?;
+            Ok(vec![Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: 0,
+            }])
+        }
+        "neg" => {
+            want(2)?;
+            Ok(vec![Inst::Alu {
+                op: AluOp::Sub,
+                rd: reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: reg(1)?,
+            }])
+        }
+        "not" => {
+            want(2)?;
+            Ok(vec![Inst::AluImm {
+                op: AluImmOp::Xori,
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: -1,
+            }])
+        }
+        "li" => {
+            want(2)?;
+            let rd = reg(0)?;
+            let v = eval_expr(line, &ops[1], symbols)?;
+            let v32 = u32::try_from(v & 0xffff_ffff).unwrap_or(0);
+            // Mirror pseudo_size exactly: only a *literal* small immediate
+            // gets the one-word form, because pass 1 cannot see symbols.
+            let literal_small = matches!(parse_int(&ops[1]), Some(x) if (-32768..=32767).contains(&x));
+            if literal_small {
+                Ok(vec![Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: v as i16,
+                }])
+            } else {
+                if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
+                    return Err(err(
+                        line,
+                        AsmErrorKind::OutOfRange(format!("li immediate {v}")),
+                    ));
+                }
+                let v32 = if v < 0 { v as i32 as u32 } else { v32 };
+                Ok(vec![
+                    Inst::Lui {
+                        rd,
+                        imm: (v32 >> 16) as u16,
+                    },
+                    Inst::AluImm {
+                        op: AluImmOp::Ori,
+                        rd,
+                        rs1: rd,
+                        imm: (v32 & 0xffff) as u16 as i16,
+                    },
+                ])
+            }
+        }
+        "la" => {
+            want(2)?;
+            let rd = reg(0)?;
+            let v = eval_expr(line, &ops[1], symbols)? as u32;
+            Ok(vec![
+                Inst::Lui {
+                    rd,
+                    imm: (v >> 16) as u16,
+                },
+                Inst::AluImm {
+                    op: AluImmOp::Ori,
+                    rd,
+                    rs1: rd,
+                    imm: (v & 0xffff) as u16 as i16,
+                },
+            ])
+        }
+        "j" => {
+            want(1)?;
+            let t = eval_expr(line, &ops[0], symbols)?;
+            Ok(vec![Inst::Jal {
+                rd: Reg::ZERO,
+                offset: branch_offset(line, addr, t)?,
+            }])
+        }
+        "call" => {
+            want(1)?;
+            let t = eval_expr(line, &ops[0], symbols)?;
+            Ok(vec![Inst::Jal {
+                rd: Reg::RA,
+                offset: branch_offset(line, addr, t)?,
+            }])
+        }
+        "jr" => {
+            want(1)?;
+            Ok(vec![Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: reg(0)?,
+                imm: 0,
+            }])
+        }
+        "ret" => {
+            want(0)?;
+            Ok(vec![Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                imm: 0,
+            }])
+        }
+        "beqz" => {
+            want(2)?;
+            let t = eval_expr(line, &ops[1], symbols)?;
+            Ok(vec![Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: reg(0)?,
+                rs2: Reg::ZERO,
+                offset: branch_offset(line, addr, t)?,
+            }])
+        }
+        "bnez" => {
+            want(2)?;
+            let t = eval_expr(line, &ops[1], symbols)?;
+            Ok(vec![Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: reg(0)?,
+                rs2: Reg::ZERO,
+                offset: branch_offset(line, addr, t)?,
+            }])
+        }
+        other => Err(err(line, AsmErrorKind::UnknownMnemonic(other.to_owned()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_sections_resolve() {
+        let prog = assemble(
+            r#"
+            .data
+a:      .word 1, 2, 3
+b:      .half 4
+c:      .byte 5, 6
+s:      .asciz "hi\n"
+            .text
+main:   la t0, a
+        halt
+        "#,
+        )
+        .unwrap();
+        assert_eq!(prog.symbol("a"), Some(DATA_BASE));
+        assert_eq!(prog.symbol("b"), Some(DATA_BASE + 12));
+        assert_eq!(prog.symbol("c"), Some(DATA_BASE + 14));
+        assert_eq!(prog.symbol("s"), Some(DATA_BASE + 16));
+        assert_eq!(&prog.data()[..4], &[1, 0, 0, 0]);
+        assert_eq!(&prog.data()[16..20], b"hi\n\0");
+    }
+
+    #[test]
+    fn li_small_is_one_word_large_is_two() {
+        let small = assemble(".text\nmain: li t0, 100\n halt\n").unwrap();
+        assert_eq!(small.text().len(), 2);
+        let large = assemble(".text\nmain: li t0, 0x12345678\n halt\n").unwrap();
+        assert_eq!(large.text().len(), 3);
+        let neg = assemble(".text\nmain: li t0, -40000\n halt\n").unwrap();
+        assert_eq!(neg.text().len(), 3);
+    }
+
+    #[test]
+    fn forward_references_work() {
+        let prog = assemble(
+            r#"
+            .text
+main:   j fwd
+        nop
+fwd:    halt
+        "#,
+        )
+        .unwrap();
+        let jal = Inst::decode(prog.text()[0]).unwrap();
+        assert!(matches!(jal, Inst::Jal { offset: 8, .. }));
+    }
+
+    #[test]
+    fn equ_constants() {
+        let prog = assemble(
+            r#"
+            .equ SIZE, 64
+            .data
+buf:    .space 64
+            .text
+main:   li t0, SIZE
+        halt
+        "#,
+        )
+        .unwrap();
+        // A symbolic immediate always takes the two-word lui+ori form.
+        assert!(matches!(
+            Inst::decode(prog.text()[0]),
+            Some(Inst::Lui { imm: 0, .. })
+        ));
+        assert!(matches!(
+            Inst::decode(prog.text()[1]),
+            Some(Inst::AluImm { imm: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn label_plus_offset() {
+        let prog = assemble(
+            r#"
+            .data
+tbl:    .word 0, 0, 7
+            .text
+main:   la t0, tbl+8
+        lw t1, (t0)
+        halt
+        "#,
+        )
+        .unwrap();
+        // la expands to lui+ori of DATA_BASE + 8.
+        assert!(matches!(
+            Inst::decode(prog.text()[1]),
+            Some(Inst::AluImm { .. })
+        ));
+        assert_eq!(prog.symbol("tbl"), Some(DATA_BASE));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble(".text\nmain: frobnicate t0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+
+        let e = assemble(".text\nmain: j nowhere\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UndefinedSymbol(_)));
+
+        let e = assemble(".text\nx: nop\nx: nop\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::DuplicateLabel(_)));
+
+        let e = assemble(".text\nmain: addi t0, t1\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadOperand(_)));
+
+        let e = assemble(".text\nmain: addi t0, t1, 40000\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::OutOfRange(_)));
+
+        let e = assemble(".unknowndir\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UnknownDirective(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble(
+            "# full-line comment\n.text\nmain: nop ; trailing\n  \n halt # done\n",
+        )
+        .unwrap();
+        assert_eq!(prog.text().len(), 2);
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let prog = assemble(
+            r#"
+            .text
+main:   lw t0, 8(sp)
+        lw t1, (sp)
+        lw t2, -4(sp)
+        halt
+        "#,
+        )
+        .unwrap();
+        let imms: Vec<i16> = prog
+            .text()
+            .iter()
+            .filter_map(|&w| match Inst::decode(w) {
+                Some(Inst::Load { imm, .. }) => Some(imm),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(imms, vec![8, 0, -4]);
+    }
+
+    #[test]
+    fn entry_defaults_to_main_or_text_base() {
+        let with_main = assemble(".text\nstart: nop\nmain: halt\n").unwrap();
+        assert_eq!(with_main.entry(), with_main.symbol("main").unwrap());
+        let without = assemble(".text\nstart: halt\n").unwrap();
+        assert_eq!(without.entry(), TEXT_BASE);
+    }
+
+    #[test]
+    fn char_and_radix_literals() {
+        let prog = assemble(".text\nmain: li t0, 'A'\n li t1, 0b101\n halt\n").unwrap();
+        let imms: Vec<i16> = prog
+            .text()
+            .iter()
+            .filter_map(|&w| match Inst::decode(w) {
+                Some(Inst::AluImm { imm, .. }) => Some(imm),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(imms, vec![65, 5]);
+    }
+}

@@ -1,0 +1,185 @@
+use serde::{Deserialize, Serialize};
+
+/// How control reached the instruction being fetched — the information the
+/// I-MAB's input multiplexer needs (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchKind {
+    /// Fall-through from the previous instruction.
+    Sequential,
+    /// A taken PC-relative branch or `jal`: the MAB sees the branch's own
+    /// PC as base and the encoded offset as displacement.
+    TakenBranch {
+        /// PC of the branch instruction.
+        base: u32,
+        /// Encoded signed byte offset.
+        disp: i32,
+    },
+    /// A return through the link register (`jalr` with `rs1 = ra`,
+    /// zero displacement): the MAB's input is the link value itself.
+    LinkReturn {
+        /// The address read from the link register.
+        target: u32,
+    },
+    /// Any other indirect jump: base register value plus displacement.
+    Indirect {
+        /// Value of the base register.
+        base: u32,
+        /// Signed displacement.
+        disp: i32,
+    },
+}
+
+/// One architectural event emitted by the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An instruction fetch.
+    Fetch {
+        /// Address of the fetched instruction.
+        pc: u32,
+        /// How control arrived here.
+        kind: FetchKind,
+    },
+    /// A data load.
+    Load {
+        /// Base register value (before addition).
+        base: u32,
+        /// Signed displacement from the instruction.
+        disp: i32,
+        /// The effective address `base + disp`.
+        addr: u32,
+        /// Access size in bytes (1, 2 or 4).
+        size: u8,
+    },
+    /// A data store.
+    Store {
+        /// Base register value (before addition).
+        base: u32,
+        /// Signed displacement from the instruction.
+        disp: i32,
+        /// The effective address `base + disp`.
+        addr: u32,
+        /// Access size in bytes (1, 2 or 4).
+        size: u8,
+    },
+}
+
+/// Consumer of the CPU's event stream. Cache front-ends implement this; the
+/// default methods ignore everything so a sink can subscribe selectively.
+pub trait TraceSink {
+    /// Called once per executed instruction with its fetch address and
+    /// control-flow provenance.
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        let _ = (pc, kind);
+    }
+
+    /// Called for every load with the architectural base/displacement pair.
+    fn load(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        let _ = (base, disp, addr, size);
+    }
+
+    /// Called for every store with the architectural base/displacement pair.
+    fn store(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        let _ = (base, disp, addr, size);
+    }
+}
+
+/// A sink that discards every event (pure functional runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// A sink that counts events without storing them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of instruction fetches observed.
+    pub fetches: u64,
+    /// Number of loads observed.
+    pub loads: u64,
+    /// Number of stores observed.
+    pub stores: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn fetch(&mut self, _pc: u32, _kind: FetchKind) {
+        self.fetches += 1;
+    }
+
+    fn load(&mut self, _base: u32, _disp: i32, _addr: u32, _size: u8) {
+        self.loads += 1;
+    }
+
+    fn store(&mut self, _base: u32, _disp: i32, _addr: u32, _size: u8) {
+        self.stores += 1;
+    }
+}
+
+/// A sink that records the full event stream (tests and trace dumps).
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    /// The recorded events, in program order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for RecordingSink {
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        self.events.push(TraceEvent::Fetch { pc, kind });
+    }
+
+    fn load(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        self.events.push(TraceEvent::Load {
+            base,
+            disp,
+            addr,
+            size,
+        });
+    }
+
+    fn store(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        self.events.push(TraceEvent::Store {
+            base,
+            disp,
+            addr,
+            size,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::default();
+        s.fetch(0, FetchKind::Sequential);
+        s.fetch(4, FetchKind::Sequential);
+        s.load(0, 0, 0, 4);
+        s.store(0, 0, 0, 1);
+        assert_eq!((s.fetches, s.loads, s.stores), (2, 1, 1));
+    }
+
+    #[test]
+    fn recording_sink_preserves_order() {
+        let mut s = RecordingSink::default();
+        s.load(10, -2, 8, 4);
+        s.fetch(0x100, FetchKind::LinkReturn { target: 0x100 });
+        assert_eq!(s.events.len(), 2);
+        assert!(matches!(s.events[0], TraceEvent::Load { addr: 8, .. }));
+        assert!(matches!(
+            s.events[1],
+            TraceEvent::Fetch {
+                kind: FetchKind::LinkReturn { target: 0x100 },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn null_sink_compiles_with_defaults() {
+        let mut s = NullSink;
+        s.fetch(0, FetchKind::Sequential);
+        s.load(0, 0, 0, 4);
+        s.store(0, 0, 0, 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the frv-lite ISA: encoding totality,
+//! display/parse agreement, and interpreter robustness under random
+//! programs.
+
+use proptest::prelude::*;
+use waymem_isa::{
+    assemble, AluImmOp, AluOp, BranchCond, Cpu, Inst, MemWidth, NullSink, Program, Reg,
+};
+
+fn regs() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).expect("in range"))
+}
+
+fn alu_ops() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ]
+}
+
+fn alu_imm_ops() -> impl Strategy<Value = AluImmOp> {
+    prop_oneof![
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Andi),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Slli),
+        Just(AluImmOp::Srli),
+        Just(AluImmOp::Srai),
+    ]
+}
+
+fn insts() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (alu_ops(), regs(), regs(), regs())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (alu_imm_ops(), regs(), regs(), any::<i16>())
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (regs(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (regs(), regs(), any::<i16>(), any::<bool>(), 0u8..3).prop_map(
+            |(rd, rs1, imm, signed, w)| Inst::Load {
+                width: [MemWidth::Byte, MemWidth::Half, MemWidth::Word][w as usize],
+                signed: w == 2 || signed,
+                rd,
+                rs1,
+                imm,
+            }
+        ),
+        (regs(), regs(), any::<i16>(), 0u8..3).prop_map(|(rs2, rs1, imm, w)| Inst::Store {
+            width: [MemWidth::Byte, MemWidth::Half, MemWidth::Word][w as usize],
+            rs2,
+            rs1,
+            imm,
+        }),
+        (regs(), regs(), any::<i16>(), 0u8..6).prop_map(|(rs1, rs2, offset, c)| {
+            Inst::Branch {
+                cond: [
+                    BranchCond::Eq,
+                    BranchCond::Ne,
+                    BranchCond::Lt,
+                    BranchCond::Ge,
+                    BranchCond::Ltu,
+                    BranchCond::Geu,
+                ][c as usize],
+                rs1,
+                rs2,
+                offset,
+            }
+        }),
+        (regs(), any::<i16>()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (regs(), regs(), any::<i16>()).prop_map(|(rd, rs1, imm)| Inst::Jalr { rd, rs1, imm }),
+        Just(Inst::Halt),
+    ]
+}
+
+proptest! {
+    /// Every constructible instruction encodes and decodes losslessly.
+    #[test]
+    fn encode_decode_round_trip(inst in insts()) {
+        prop_assert_eq!(Inst::decode(inst.encode()), Some(inst));
+    }
+
+    /// Decoding is total and never panics; decodable words re-encode to a
+    /// word that decodes to the same instruction (canonicalization).
+    #[test]
+    fn decode_is_total_and_stable(word: u32) {
+        if let Some(inst) = Inst::decode(word) {
+            prop_assert_eq!(Inst::decode(inst.encode()), Some(inst));
+        }
+    }
+
+    /// Non-control, non-memory instructions survive a display → assemble
+    /// round trip (the disassembler speaks the assembler's syntax).
+    #[test]
+    fn display_reassembles(inst in insts()) {
+        let reparseable = matches!(
+            inst,
+            Inst::Alu { .. } | Inst::AluImm { .. } | Inst::Load { .. } | Inst::Store { .. }
+        );
+        prop_assume!(reparseable);
+        let src = format!(".text\nmain: {inst}\n");
+        let prog = assemble(&src).expect("disassembly must be valid assembly");
+        prop_assert_eq!(Inst::decode(prog.text()[0]), Some(inst));
+    }
+
+    /// The CPU never panics on random (even illegal) programs: it either
+    /// halts, faults cleanly, or runs out of budget; and register 0 stays
+    /// zero throughout.
+    #[test]
+    fn cpu_is_total_on_random_words(words in prop::collection::vec(any::<u32>(), 1..64)) {
+        let prog = Program::from_parts(
+            waymem_isa::TEXT_BASE,
+            words,
+            waymem_isa::DATA_BASE,
+            vec![],
+            waymem_isa::TEXT_BASE,
+            Default::default(),
+        );
+        let mut cpu = Cpu::new(&prog);
+        let _ = cpu.run(10_000, &mut NullSink);
+        prop_assert_eq!(cpu.reg(0), 0);
+    }
+
+    /// Structured random ALU programs terminate with the same results as
+    /// a direct Rust evaluation of the same operation sequence.
+    #[test]
+    fn alu_programs_match_reference(
+        ops in prop::collection::vec((alu_ops(), 1u8..8, 1u8..8, 1u8..8), 1..40),
+        seeds in prop::collection::vec(any::<u32>(), 8),
+    ) {
+        // Build: load seeds into x1..x8, run the op list, halt.
+        let mut insts: Vec<Inst> = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let rd = Reg::new(i as u8 + 1).unwrap();
+            insts.push(Inst::Lui { rd, imm: (seed >> 16) as u16 });
+            insts.push(Inst::AluImm {
+                op: AluImmOp::Ori,
+                rd,
+                rs1: rd,
+                imm: (seed & 0xffff) as u16 as i16,
+            });
+        }
+        for &(op, rd, rs1, rs2) in &ops {
+            insts.push(Inst::Alu {
+                op,
+                rd: Reg::new(rd).unwrap(),
+                rs1: Reg::new(rs1).unwrap(),
+                rs2: Reg::new(rs2).unwrap(),
+            });
+        }
+        insts.push(Inst::Halt);
+        let prog = Program::from_insts(&insts);
+        let mut cpu = Cpu::new(&prog);
+        let out = cpu.run(1000, &mut NullSink).expect("no faults");
+        prop_assert!(out.halted());
+
+        // Reference evaluation.
+        let mut regs = [0u32; 9];
+        regs[1..9].copy_from_slice(&seeds[..8]);
+        for &(op, rd, rs1, rs2) in &ops {
+            let (a, b) = (regs[rs1 as usize], regs[rs2 as usize]);
+            regs[rd as usize] = reference_alu(op, a, b);
+        }
+        for (i, &want) in regs.iter().enumerate().skip(1) {
+            prop_assert_eq!(cpu.reg(i), want, "register x{}", i);
+        }
+    }
+}
+
+fn reference_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            }
+        }
+    }
+}

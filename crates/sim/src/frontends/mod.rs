@@ -1,0 +1,10 @@
+//! Cache front-ends: one per lookup scheme. Each consumes the CPU's trace
+//! events against its own private cache state and accounts tag/way
+//! activations per the crate-level rules.
+
+mod dcache;
+mod icache;
+mod links;
+
+pub use dcache::{DFront, DScheme};
+pub use icache::{IFront, IScheme};

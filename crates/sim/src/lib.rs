@@ -1,0 +1,62 @@
+//! # waymem-sim — trace-driven cache front-ends and the experiment driver
+//!
+//! This crate wires everything together: the frv-lite CPU
+//! ([`waymem_isa`]) emits fetch and load/store events; a set of **cache
+//! front-ends** — one per lookup scheme — consume the same event stream in
+//! parallel and account how many tag arrays and data ways each scheme
+//! activates; [`waymem_hwmodel`] then turns the counts into the power
+//! numbers of the paper's Figures 5, 7 and 8 via Eq. (1).
+//!
+//! ## Schemes
+//!
+//! D-cache ([`DScheme`]): `Original` (conventional parallel lookup),
+//! `SetBuffer` (Yang et al., approach \[14\]), `WayMemo` (the paper),
+//! plus ablations `WayPredict` (MRU way prediction \[9\]), `TwoPhase`
+//! (\[8\]), `FilterCache` (\[6\]/\[13\]), `WayMemoLineBuffer` (the
+//! conclusion's future-work hybrid) and `WayMemoPaperLru` (the §3.3
+//! consistency audit).
+//!
+//! I-cache ([`IScheme`]): `Original`, `IntraLine` (Panwar & Rennels,
+//! approach \[4\]), `LinkMemo` (Ma et al., \[11\]), `ExtendedBtb`
+//! (Inoue et al., \[12\]) and `WayMemo` (intra-line skip + MAB for
+//! inter-line and non-sequential flow, per Figure 2).
+//!
+//! ## Accounting rules (uniform across schemes)
+//!
+//! * conventional load lookup: `W` tag reads + `W` way reads (parallel);
+//! * conventional store lookup: `W` tag reads + 1 way write (the
+//!   write-back buffer lets the store wait for the tag match);
+//! * known-way access (MAB hit / buffer hit / intra-line flow): 0 tag
+//!   reads + 1 way access;
+//! * every line fill adds 1 way write;
+//! * I-cache accesses happen per 8-byte fetch packet, not per instruction.
+//!
+//! ```
+//! use waymem_sim::{run_benchmark, DScheme, IScheme, SimConfig};
+//! use waymem_workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = SimConfig::default();
+//! let result = run_benchmark(
+//!     Benchmark::Dct,
+//!     &cfg,
+//!     &[DScheme::Original, DScheme::WayMemo { tag_entries: 2, set_entries: 8 }],
+//!     &[IScheme::IntraLine],
+//! )?;
+//! let original = &result.dcache[0];
+//! let waymemo = &result.dcache[1];
+//! assert!(waymemo.stats.tag_reads < original.stats.tag_reads / 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod frontends;
+mod report;
+mod run;
+
+pub use frontends::{DFront, DScheme, IFront, IScheme};
+pub use report::{format_power_table, format_ratio_table, FigureRow};
+pub use run::{run_benchmark, RunError, SchemeResult, SimConfig, SimResult};

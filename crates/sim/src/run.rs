@@ -1,0 +1,309 @@
+//! The experiment driver: runs one benchmark once, feeding every requested
+//! scheme's front-end from the same trace, then composes power via Eq. (1).
+
+use std::error::Error;
+use std::fmt;
+
+use waymem_cache::{AccessStats, Geometry};
+use waymem_hwmodel::{
+    cache_energies, mab_power_mw, CacheShape, EnergyCounts, PowerBreakdown, Technology,
+};
+use waymem_isa::{AsmError, Cpu, CpuError, FetchKind, TraceSink};
+use waymem_workloads::Benchmark;
+
+use crate::{DFront, DScheme, IFront, IScheme};
+
+/// Simulation configuration shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Cache geometry for both I- and D-caches (paper: 32 kB 2-way).
+    pub geometry: Geometry,
+    /// Workload scale factor (1 = default kernel sizes).
+    pub scale: u32,
+    /// Technology / operating point for the power models.
+    pub technology: Technology,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            geometry: Geometry::frv(),
+            scale: 1,
+            technology: Technology::frv_0130(),
+        }
+    }
+}
+
+/// Why a simulation run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The benchmark's generated assembly failed to assemble.
+    Assemble(AsmError),
+    /// The CPU faulted while executing the benchmark.
+    Cpu(CpuError),
+    /// The benchmark did not halt within its step budget.
+    StepLimit {
+        /// The budget that was exhausted.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Assemble(e) => write!(f, "benchmark failed to assemble: {e}"),
+            RunError::Cpu(e) => write!(f, "benchmark faulted: {e}"),
+            RunError::StepLimit { max_steps } => {
+                write!(f, "benchmark did not halt within {max_steps} steps")
+            }
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Assemble(e) => Some(e),
+            RunError::Cpu(e) => Some(e),
+            RunError::StepLimit { .. } => None,
+        }
+    }
+}
+
+impl From<AsmError> for RunError {
+    fn from(e: AsmError) -> Self {
+        RunError::Assemble(e)
+    }
+}
+
+impl From<CpuError> for RunError {
+    fn from(e: CpuError) -> Self {
+        RunError::Cpu(e)
+    }
+}
+
+/// Per-scheme outcome of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Scheme display name.
+    pub name: String,
+    /// Tag/way/hit accounting.
+    pub stats: AccessStats,
+    /// Raw counts handed to the power model.
+    pub energy: EnergyCounts,
+    /// Eq. (1) power decomposition.
+    pub power: PowerBreakdown,
+    /// Cycles added by lookup penalties (zero for way memoization).
+    pub extra_cycles: u64,
+}
+
+/// Outcome of one benchmark under several schemes.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The benchmark that ran.
+    pub benchmark: Benchmark,
+    /// Instructions retired (= cycles at CPI 1).
+    pub cycles: u64,
+    /// D-cache results, in the order the schemes were given.
+    pub dcache: Vec<SchemeResult>,
+    /// I-cache results, in the order the schemes were given.
+    pub icache: Vec<SchemeResult>,
+}
+
+impl SimResult {
+    /// Finds a D-cache result by scheme name.
+    #[must_use]
+    pub fn dcache_by_name(&self, name: &str) -> Option<&SchemeResult> {
+        self.dcache.iter().find(|r| r.name == name)
+    }
+
+    /// Finds an I-cache result by scheme name.
+    #[must_use]
+    pub fn icache_by_name(&self, name: &str) -> Option<&SchemeResult> {
+        self.icache.iter().find(|r| r.name == name)
+    }
+}
+
+struct FanoutSink {
+    dfronts: Vec<DFront>,
+    ifronts: Vec<IFront>,
+}
+
+impl TraceSink for FanoutSink {
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        for f in &mut self.ifronts {
+            f.fetch(pc, kind);
+        }
+    }
+
+    fn load(&mut self, base: u32, disp: i32, addr: u32, _size: u8) {
+        for f in &mut self.dfronts {
+            f.access(false, base, disp, addr);
+        }
+    }
+
+    fn store(&mut self, base: u32, disp: i32, addr: u32, _size: u8) {
+        for f in &mut self.dfronts {
+            f.access(true, base, disp, addr);
+        }
+    }
+}
+
+/// Runs `bench` once and returns per-scheme statistics and Eq. (1) power
+/// for every requested D- and I-cache scheme. All schemes observe the
+/// identical trace, so comparisons are exact.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the kernel fails to assemble, faults, or does
+/// not halt.
+pub fn run_benchmark(
+    bench: Benchmark,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+) -> Result<SimResult, RunError> {
+    let wl = bench.workload(cfg.scale)?;
+    let mut sink = FanoutSink {
+        dfronts: dschemes.iter().map(|s| s.build(cfg.geometry)).collect(),
+        ifronts: ischemes.iter().map(|s| s.build(cfg.geometry)).collect(),
+    };
+    let mut cpu = Cpu::new(&wl.program);
+    let outcome = cpu.run(wl.max_steps, &mut sink)?;
+    if !outcome.halted() {
+        return Err(RunError::StepLimit {
+            max_steps: wl.max_steps,
+        });
+    }
+    let cycles = cpu.instret();
+
+    let shape = CacheShape {
+        sets: cfg.geometry.sets(),
+        ways: cfg.geometry.ways(),
+        line_bytes: cfg.geometry.line_bytes(),
+        tag_bits: cfg.geometry.tag_bits(),
+    };
+    let energies = cache_energies(shape, cfg.technology);
+
+    let dcache = sink
+        .dfronts
+        .iter()
+        .map(|f| {
+            let energy = f.energy_counts(cycles);
+            let mab = f.mab_shape().map(|s| mab_power_mw(s, cfg.technology));
+            SchemeResult {
+                name: f.scheme().name(),
+                stats: f.stats(),
+                energy,
+                power: PowerBreakdown::from_counts(energy, energies, mab, cfg.technology),
+                extra_cycles: f.extra_cycles(),
+            }
+        })
+        .collect();
+    let icache = sink
+        .ifronts
+        .iter()
+        .map(|f| {
+            let energy = f.energy_counts(cycles);
+            let mab = f.mab_shape().map(|s| mab_power_mw(s, cfg.technology));
+            SchemeResult {
+                name: f.scheme().name(),
+                stats: f.stats(),
+                energy,
+                power: PowerBreakdown::from_counts(energy, energies, mab, cfg.technology),
+                extra_cycles: 0,
+            }
+        })
+        .collect();
+
+    Ok(SimResult {
+        benchmark: bench,
+        cycles,
+        dcache,
+        icache,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_schemes() -> (Vec<DScheme>, Vec<IScheme>) {
+        (
+            vec![
+                DScheme::Original,
+                DScheme::SetBuffer { entries: 1 },
+                DScheme::paper_way_memo(),
+            ],
+            vec![
+                IScheme::Original,
+                IScheme::IntraLine,
+                IScheme::paper_way_memo(),
+            ],
+        )
+    }
+
+    #[test]
+    fn dct_run_produces_paper_shape() {
+        let cfg = SimConfig::default();
+        let (d, i) = paper_schemes();
+        let r = run_benchmark(Benchmark::Dct, &cfg, &d, &i).expect("runs");
+        assert!(r.cycles > 50_000);
+
+        // All D schemes saw the same accesses.
+        let accesses: Vec<u64> = r.dcache.iter().map(|s| s.stats.accesses).collect();
+        assert!(accesses.windows(2).all(|w| w[0] == w[1]));
+
+        let orig = &r.dcache[0];
+        let ours = &r.dcache[2];
+        // Figure 4 shape: original ~2 tags/access; ours ~90% fewer.
+        assert!(orig.stats.tags_per_access() > 1.9);
+        assert!(
+            ours.stats.tag_reads * 3 < orig.stats.tag_reads,
+            "ours {} vs orig {}",
+            ours.stats.tag_reads,
+            orig.stats.tag_reads
+        );
+        // Ways: ours stays above 1 (at least one way per access).
+        assert!(ours.stats.ways_per_access() >= 1.0);
+        assert!(ours.stats.ways_per_access() < orig.stats.ways_per_access());
+        // Figure 5 shape: total power drops.
+        assert!(ours.power.total_mw() < orig.power.total_mw());
+        // No performance penalty for way memoization.
+        assert_eq!(ours.extra_cycles, 0);
+
+        // I-cache, Figure 6 shape: [4] removes most tags; ours removes more.
+        let iorig = &r.icache[0];
+        let i4 = &r.icache[1];
+        let iours = &r.icache[2];
+        assert!(i4.stats.tag_reads < iorig.stats.tag_reads / 2);
+        assert!(iours.stats.tag_reads < i4.stats.tag_reads);
+        assert!(iours.power.total_mw() < i4.power.total_mw());
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let cfg = SimConfig::default();
+        let (d, i) = paper_schemes();
+        let r = run_benchmark(Benchmark::Compress, &cfg, &d, &i).expect("runs");
+        for s in r.dcache.iter().chain(r.icache.iter()) {
+            assert!(s.stats.is_consistent(), "{}", s.name);
+            assert_eq!(s.energy.cycles, r.cycles);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        let cfg = SimConfig::default();
+        let r = run_benchmark(
+            Benchmark::Dct,
+            &cfg,
+            &[DScheme::Original],
+            &[IScheme::Original],
+        )
+        .expect("runs");
+        assert!(r.dcache_by_name("original").is_some());
+        assert!(r.dcache_by_name("nope").is_none());
+        assert!(r.icache_by_name("original").is_some());
+    }
+}

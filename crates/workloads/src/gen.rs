@@ -1,0 +1,275 @@
+//! Deterministic input-data generation for the benchmark kernels.
+//!
+//! Kernels embed their input data as `.word`/`.byte` directives produced by
+//! these helpers, so a benchmark's behaviour is a pure function of its
+//! scale factor — no files, no environment.
+
+use std::fmt::Write;
+
+/// Minimal xorshift PRNG used to synthesize benchmark inputs.
+///
+/// Deliberately not `rand`-based for the data that defines benchmark
+/// *identity*: the exact stream must stay stable across `rand` versions so
+/// that golden checksums in tests never drift.
+///
+/// ```
+/// use waymem_workloads::XorShift32;
+///
+/// let mut a = XorShift32::new(42);
+/// let mut b = XorShift32::new(42);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorShift32 {
+    state: u32,
+}
+
+impl XorShift32 {
+    /// Creates a generator; a zero seed is remapped to a fixed non-zero one.
+    #[must_use]
+    pub fn new(seed: u32) -> Self {
+        Self {
+            state: if seed == 0 { 0x9e37_79b9 } else { seed },
+        }
+    }
+
+    /// Next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u32() % bound
+    }
+}
+
+/// Emits a `.word` directive list (8 values per line) for `values`.
+#[must_use]
+pub fn words(label: &str, values: &[i64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}:");
+    for chunk in values.chunks(8) {
+        let items: Vec<String> = chunk.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(out, "        .word {}", items.join(", "));
+    }
+    if values.is_empty() {
+        let _ = writeln!(out, "        .space 0");
+    }
+    out
+}
+
+/// Emits a `.byte` directive list (16 values per line) for `values`.
+#[must_use]
+pub fn bytes(label: &str, values: &[u8]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}:");
+    for chunk in values.chunks(16) {
+        let items: Vec<String> = chunk.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(out, "        .byte {}", items.join(", "));
+    }
+    if values.is_empty() {
+        let _ = writeln!(out, "        .space 0");
+    }
+    out
+}
+
+/// The 8×8 DCT-II coefficient matrix in Q6 fixed point (values scaled by
+/// 64), row-major: `C[k][n] = s(k) * cos((2n+1) k π / 16) * 64`.
+#[must_use]
+pub fn dct8_coefficients_q6() -> Vec<i64> {
+    let mut c = Vec::with_capacity(64);
+    for k in 0..8 {
+        let s = if k == 0 {
+            (1.0f64 / 8.0).sqrt()
+        } else {
+            (2.0f64 / 8.0).sqrt()
+        };
+        for n in 0..8 {
+            let v = s * ((2.0 * n as f64 + 1.0) * k as f64 * std::f64::consts::PI / 16.0).cos();
+            c.push((v * 64.0).round() as i64);
+        }
+    }
+    c
+}
+
+/// Sine table: `len` entries of `sin(2πi/len)` in Q14 fixed point.
+#[must_use]
+pub fn sine_table_q14(len: usize) -> Vec<i64> {
+    (0..len)
+        .map(|i| {
+            let v = (2.0 * std::f64::consts::PI * i as f64 / len as f64).sin();
+            (v * 16384.0).round() as i64
+        })
+        .collect()
+}
+
+/// Cosine table: `len` entries of `cos(2πi/len)` in Q14 fixed point.
+#[must_use]
+pub fn cosine_table_q14(len: usize) -> Vec<i64> {
+    (0..len)
+        .map(|i| {
+            let v = (2.0 * std::f64::consts::PI * i as f64 / len as f64).cos();
+            (v * 16384.0).round() as i64
+        })
+        .collect()
+}
+
+/// Bit-reversal permutation table for an `n`-point FFT (n a power of two).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn bit_reverse_table(n: usize) -> Vec<i64> {
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| i64::from((i as u32).reverse_bits() >> (32 - bits)))
+        .collect()
+}
+
+/// Synthetic English-like text for the compress benchmark: words sampled
+/// from a small vocabulary with punctuation, `len` bytes.
+#[must_use]
+pub fn synthetic_text(len: usize, seed: u32) -> Vec<u8> {
+    const VOCAB: [&str; 24] = [
+        "the", "cache", "way", "tag", "power", "memo", "access", "line", "set", "index", "data",
+        "buffer", "address", "energy", "miss", "hit", "processor", "branch", "link", "store",
+        "load", "bank", "array", "clock",
+    ];
+    let mut rng = XorShift32::new(seed);
+    let mut out = Vec::with_capacity(len + 16);
+    while out.len() < len {
+        let w = VOCAB[rng.below(VOCAB.len() as u32) as usize];
+        out.extend_from_slice(w.as_bytes());
+        match rng.below(12) {
+            0 => out.extend_from_slice(b". "),
+            1 => out.extend_from_slice(b", "),
+            _ => out.push(b' '),
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// A synthetic greyscale frame of `w`×`h` pixels with smooth gradients plus
+/// noise — plausibly image-like for DCT/JPEG/MPEG kernels.
+#[must_use]
+pub fn synthetic_frame(w: usize, h: usize, seed: u32) -> Vec<u8> {
+    let mut rng = XorShift32::new(seed);
+    let mut px = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let base = 96.0
+                + 60.0 * ((x as f64) * 0.12).sin()
+                + 40.0 * ((y as f64) * 0.2 + (x as f64) * 0.03).cos();
+            let noise = (rng.below(17) as f64) - 8.0;
+            px.push((base + noise).clamp(0.0, 255.0) as u8);
+        }
+    }
+    px
+}
+
+/// Shifts `frame` by (`dx`, `dy`) with clamping and adds light noise —
+/// the "next frame" for motion estimation.
+#[must_use]
+pub fn shifted_frame(frame: &[u8], w: usize, h: usize, dx: i32, dy: i32, seed: u32) -> Vec<u8> {
+    let mut rng = XorShift32::new(seed);
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h as i32 {
+        for x in 0..w as i32 {
+            let sx = (x + dx).clamp(0, w as i32 - 1) as usize;
+            let sy = (y + dy).clamp(0, h as i32 - 1) as usize;
+            let v = i32::from(frame[sy * w + sx]) + rng.below(5) as i32 - 2;
+            out.push(v.clamp(0, 255) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut r = XorShift32::new(7);
+        let seq: Vec<u32> = (0..8).map(|_| r.next_u32()).collect();
+        let mut r2 = XorShift32::new(7);
+        let seq2: Vec<u32> = (0..8).map(|_| r2.next_u32()).collect();
+        assert_eq!(seq, seq2);
+        assert!(seq.iter().all(|&v| v != 0));
+        // Zero seed is remapped, not stuck at zero.
+        assert_ne!(XorShift32::new(0).next_u32(), 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift32::new(3);
+        for _ in 0..100 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn words_formats_directives() {
+        let s = words("tbl", &[1, -2, 3]);
+        assert!(s.starts_with("tbl:\n"));
+        assert!(s.contains(".word 1, -2, 3"));
+    }
+
+    #[test]
+    fn dct_matrix_first_row_is_dc() {
+        let c = dct8_coefficients_q6();
+        // DC row: all entries equal 64 / sqrt(8) ≈ 22.6 -> 23.
+        for (n, &v) in c.iter().take(8).enumerate() {
+            assert_eq!(v, 23, "n={n}");
+        }
+        // Orthogonality-ish sanity: row 1 is symmetric negated.
+        assert_eq!(c[8], -c[15]);
+    }
+
+    #[test]
+    fn bit_reverse_table_is_an_involution() {
+        let t = bit_reverse_table(256);
+        for (i, &r) in t.iter().enumerate() {
+            assert_eq!(t[r as usize], i as i64);
+        }
+    }
+
+    #[test]
+    fn sine_cosine_q14_bounds() {
+        for v in sine_table_q14(128).iter().chain(cosine_table_q14(128).iter()) {
+            assert!((-16384..=16384).contains(v));
+        }
+        assert_eq!(cosine_table_q14(128)[0], 16384);
+        assert_eq!(sine_table_q14(128)[0], 0);
+    }
+
+    #[test]
+    fn synthetic_text_looks_textual() {
+        let t = synthetic_text(512, 1);
+        assert_eq!(t.len(), 512);
+        assert!(t.iter().all(|&b| b.is_ascii()));
+        assert!(t.iter().filter(|&&b| b == b' ').count() > 20);
+    }
+
+    #[test]
+    fn frames_have_expected_size_and_range() {
+        let f = synthetic_frame(64, 32, 9);
+        assert_eq!(f.len(), 64 * 32);
+        let s = shifted_frame(&f, 64, 32, 2, 1, 10);
+        assert_eq!(s.len(), f.len());
+    }
+}

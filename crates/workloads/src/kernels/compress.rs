@@ -1,0 +1,147 @@
+//! LZW compression of a synthetic text corpus with an open-addressing hash
+//! dictionary — the irregular, data-dependent D-cache probing pattern that
+//! made `compress` a staple of cache studies. Verified against a Rust
+//! reference implementation.
+
+use crate::gen::{bytes, synthetic_text};
+
+/// Input text bytes at scale 1.
+pub const TEXT_PER_SCALE: u32 = 3072;
+const HASH_SIZE: u32 = 4096;
+
+pub(crate) fn input_text(scale: u32) -> Vec<u8> {
+    synthetic_text((TEXT_PER_SCALE * scale) as usize, 0xc0de_0003)
+}
+
+/// Builds the kernel source.
+#[must_use]
+pub fn source(scale: u32) -> String {
+    let text = input_text(scale);
+    let len = text.len() as u32;
+    let text_data = bytes("text", &text);
+    format!(
+        r#"# compress benchmark: LZW over {len} bytes, {hash} hash slots.
+        .equ LEN, {len}
+        .equ HMASK, {hmask}
+        .data
+{text_data}
+        .align 2
+hkey:   .space {hbytes}
+hcode:  .space {hbytes}
+outbuf: .space {obytes}
+        .text
+main:   # clear dictionary keys to -1
+        la   t0, hkey
+        li   t1, {hash}
+        li   t2, -1
+hinit:  sw   t2, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, hinit
+
+        la   s1, text
+        li   s2, 1              # i
+        lbu  s3, 0(s1)          # w = text[0]
+        li   s4, 256            # next_code
+        la   s5, hkey
+        la   s6, hcode
+        la   s7, outbuf
+        li   s11, 0             # checksum
+
+byteloop:
+        li   t0, LEN
+        bge  s2, t0, flush
+        add  t0, s1, s2
+        lbu  s8, 0(t0)          # k = text[i]
+        slli t1, s3, 8
+        or   t1, t1, s8         # key = (w << 8) | k
+        slli t2, s3, 5
+        xor  t2, t2, s8
+        andi t2, t2, HMASK      # h
+probe:  slli t3, t2, 2
+        add  t4, s5, t3
+        lw   t5, 0(t4)          # hkey[h]
+        beq  t5, t1, found
+        li   t6, -1
+        beq  t5, t6, vacant
+        addi t2, t2, 1
+        andi t2, t2, HMASK
+        j    probe
+found:  add  t4, s6, t3
+        lw   s3, 0(t4)          # w = hcode[h]
+        j    nextbyte
+vacant: li   t6, {hash}
+        bge  s4, t6, noinsert
+        add  t4, s5, t3
+        sw   t1, 0(t4)          # hkey[h] = key
+        add  t4, s6, t3
+        sw   s4, 0(t4)          # hcode[h] = next_code
+        addi s4, s4, 1
+noinsert:
+        sw   s3, 0(s7)          # emit w
+        add  s11, s11, s3
+        addi s7, s7, 4
+        mv   s3, s8             # w = k
+nextbyte:
+        addi s2, s2, 1
+        j    byteloop
+flush:  sw   s3, 0(s7)
+        add  s11, s11, s3
+        addi s7, s7, 4
+        # fold in the emitted-code count
+        la   t0, outbuf
+        sub  t1, s7, t0
+        srli t1, t1, 2
+        slli t1, t1, 16
+        add  s11, s11, t1
+        ori  a0, s11, 1
+        halt
+"#,
+        len = len,
+        hash = HASH_SIZE,
+        hmask = HASH_SIZE - 1,
+        hbytes = HASH_SIZE * 4,
+        obytes = (len + 1) * 4,
+        text_data = text_data,
+    )
+}
+
+/// Rust reference model: the checksum the kernel must leave in `a0`.
+#[must_use]
+pub fn reference_checksum(scale: u32) -> u32 {
+    let text = input_text(scale.max(1));
+    let mut hkey = vec![-1i64; HASH_SIZE as usize];
+    let mut hcode = vec![0u32; HASH_SIZE as usize];
+    let mut next_code: u32 = 256;
+    let mut w = u32::from(text[0]);
+    let mut checksum: u32 = 0;
+    let mut emitted: u32 = 0;
+    for &kb in &text[1..] {
+        let k = u32::from(kb);
+        let key = i64::from((w << 8) | k);
+        let mut h = ((w << 5) ^ k) & (HASH_SIZE - 1);
+        loop {
+            let slot = hkey[h as usize];
+            if slot == key {
+                w = hcode[h as usize];
+                break;
+            }
+            if slot == -1 {
+                if next_code < HASH_SIZE {
+                    hkey[h as usize] = key;
+                    hcode[h as usize] = next_code;
+                    next_code += 1;
+                }
+                checksum = checksum.wrapping_add(w);
+                emitted += 1;
+                w = k;
+                break;
+            }
+            h = (h + 1) & (HASH_SIZE - 1);
+        }
+    }
+    checksum = checksum.wrapping_add(w);
+    emitted += 1;
+    checksum = checksum.wrapping_add(emitted << 16);
+    checksum | 1
+}

@@ -1,0 +1,145 @@
+//! 8×8 two-dimensional integer DCT over a stream of blocks.
+//!
+//! `Y = C·X·Cᵀ` in Q6 fixed point via two 8×8 matrix multiplies per block
+//! (the second with a transposed operand), matching the blocked loop nests
+//! of a real still-image DCT pass. Verified against a Rust reference in the
+//! crate's integration tests.
+
+use crate::gen::{dct8_coefficients_q6, words, XorShift32};
+
+/// Number of 8×8 blocks processed at scale 1.
+pub const BLOCKS_PER_SCALE: u32 = 12;
+
+/// Generates pixel data for `blocks` blocks (row-major 64 words each).
+pub(crate) fn input_blocks(blocks: u32) -> Vec<i64> {
+    let mut rng = XorShift32::new(0x0dc7_0001);
+    (0..blocks * 64).map(|_| i64::from(rng.below(256))).collect()
+}
+
+/// Builds the kernel source.
+#[must_use]
+pub fn source(scale: u32) -> String {
+    let nb = BLOCKS_PER_SCALE * scale;
+    let input = words("input", &input_blocks(nb));
+    let coef = words("coef", &dct8_coefficients_q6());
+    format!(
+        r#"# DCT benchmark: {nb} 8x8 blocks, Y = C*X*C^T in Q6.
+        .equ NB, {nb}
+        .data
+{coef}
+{input}
+tmpbuf: .space 256
+output: .space {out_bytes}
+        .text
+main:   li   s0, 0              # block counter
+        la   s1, input
+        la   s2, output
+blkloop:
+        la   a0, coef           # T = C * X
+        mv   a1, s1
+        la   a2, tmpbuf
+        li   a3, 0
+        call mm8
+        la   a0, tmpbuf         # Y = T * C^T
+        la   a1, coef
+        mv   a2, s2
+        li   a3, 1
+        call mm8
+        addi s1, s1, 256
+        addi s2, s2, 256
+        addi s0, s0, 1
+        li   t0, NB
+        blt  s0, t0, blkloop
+
+        # checksum of all output words
+        la   t0, output
+        li   t1, NB
+        slli t1, t1, 6
+        li   s11, 0
+cksum:  lw   t2, 0(t0)
+        add  s11, s11, t2
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, cksum
+        ori  a0, s11, 1
+        halt
+
+# mm8: C[i][j] = (sum_k A[i][k] * B[k][j]) >> 6
+#   a0 = A base, a1 = B base, a2 = C base,
+#   a3 = 1 to index B transposed (B[j][k]).
+mm8:    li   t0, 0              # i
+mmi:    li   t1, 0              # j
+mmj:    li   t2, 0              # k
+        li   s5, 0              # acc
+mmk:    slli t3, t0, 5
+        slli t4, t2, 2
+        add  t3, t3, t4
+        add  t3, a0, t3
+        lw   t5, 0(t3)          # A[i][k]
+        beqz a3, mmb
+        slli t3, t1, 5          # B[j][k]
+        slli t4, t2, 2
+        j    mmsum
+mmb:    slli t3, t2, 5          # B[k][j]
+        slli t4, t1, 2
+mmsum:  add  t3, t3, t4
+        add  t3, a1, t3
+        lw   t6, 0(t3)
+        mul  t5, t5, t6
+        add  s5, s5, t5
+        addi t2, t2, 1
+        li   t3, 8
+        blt  t2, t3, mmk
+        srai s5, s5, 6
+        slli t3, t0, 5
+        slli t4, t1, 2
+        add  t3, t3, t4
+        add  t3, a2, t3
+        sw   s5, 0(t3)
+        addi t1, t1, 1
+        li   t3, 8
+        blt  t1, t3, mmj
+        addi t0, t0, 1
+        li   t3, 8
+        blt  t0, t3, mmi
+        ret
+"#,
+        nb = nb,
+        coef = coef,
+        input = input,
+        out_bytes = nb * 256,
+    )
+}
+
+/// Rust reference model of the kernel: returns the checksum the assembly
+/// program must leave in `a0`.
+#[must_use]
+pub fn reference_checksum(scale: u32) -> u32 {
+    let nb = BLOCKS_PER_SCALE * scale.max(1);
+    let coef: Vec<i32> = dct8_coefficients_q6().iter().map(|&v| v as i32).collect();
+    let input: Vec<i32> = input_blocks(nb).iter().map(|&v| v as i32).collect();
+    let mut checksum: u32 = 0;
+    for b in 0..nb as usize {
+        let x = &input[b * 64..b * 64 + 64];
+        let mut t = [0i32; 64];
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut acc: i32 = 0;
+                for k in 0..8 {
+                    acc = acc.wrapping_add(coef[i * 8 + k].wrapping_mul(x[k * 8 + j]));
+                }
+                t[i * 8 + j] = acc >> 6;
+            }
+        }
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut acc: i32 = 0;
+                for k in 0..8 {
+                    acc = acc.wrapping_add(t[i * 8 + k].wrapping_mul(coef[j * 8 + k]));
+                }
+                checksum = checksum.wrapping_add((acc >> 6) as u32);
+            }
+        }
+    }
+    checksum | 1
+}

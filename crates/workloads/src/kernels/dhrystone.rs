@@ -1,0 +1,143 @@
+//! Dhrystone-flavoured integer benchmark: a linked list of records with
+//! integer fields and embedded strings, exercised by list traversal,
+//! `strcmp`/`strcpy`-style byte loops and small leaf procedures — the mix
+//! of pointer chasing, byte traffic and call/return control flow the
+//! original Dhrystone is known for.
+
+/// Records in the list.
+pub const RECORDS: u32 = 32;
+/// Traversal iterations at scale 1.
+pub const LOOPS_PER_SCALE: u32 = 20;
+
+/// Record layout (32 bytes): 0 `a`, 4 `b`, 8 `next`, 12 `kind`,
+/// 16..32 string (NUL-padded).
+const REC_BYTES: u32 = 32;
+
+/// Builds the kernel source.
+#[must_use]
+pub fn source(scale: u32) -> String {
+    let loops = LOOPS_PER_SCALE * scale;
+    format!(
+        r#"# dhrystone benchmark: {records} records, {loops} traversals.
+        .equ NREC, {records}
+        .equ LOOPS, {loops}
+        .data
+recs:   .space {recs_bytes}
+gstr:   .asciz "DHRYSTONE PGM"
+tmpstr: .space 16
+        .text
+main:   # --- build the record list ---
+        la   s0, recs
+        li   s1, 0              # index
+init:   slli t0, s1, 5
+        add  t1, s0, t0         # &rec[i]
+        sw   s1, 0(t1)          # a = i
+        slli t2, s1, 1
+        add  t2, t2, s1
+        sw   t2, 4(t1)          # b = 3i
+        addi t3, t1, {rec_bytes}
+        sw   t3, 8(t1)          # next = &rec[i+1]
+        andi t4, s1, 3
+        sw   t4, 12(t1)         # kind = i % 4
+        # copy gstr into the record string, varying the first byte
+        la   t5, gstr
+        addi t6, t1, 16
+        li   a4, 0
+scopy:  add  a5, t5, a4
+        lbu  a6, 0(a5)
+        add  a5, t6, a4
+        sb   a6, 0(a5)
+        addi a4, a4, 1
+        li   a5, 14
+        blt  a4, a5, scopy
+        andi a6, s1, 15
+        addi a6, a6, 'A'
+        sb   a6, 16(t1)         # personalize first char
+        addi s1, s1, 1
+        li   t0, NREC
+        blt  s1, t0, init
+        # terminate the list
+        li   t0, NREC-1
+        slli t0, t0, 5
+        add  t1, s0, t0
+        sw   zero, 8(t1)
+
+        li   s2, 0              # loop counter
+        li   s11, 0             # checksum
+outer:  mv   s3, s0             # cursor = head
+walk:   beqz s3, walked
+        lw   t0, 0(s3)          # a
+        lw   t1, 4(s3)          # b
+        add  t0, t0, t1         # a += b
+        sw   t0, 0(s3)
+        add  s11, s11, t0
+        # strcmp(rec.str, gstr) -> a0 (0 equal, else sign of diff)
+        addi a0, s3, 16
+        la   a1, gstr
+        call strcmp
+        add  s11, s11, a0
+        # strcpy(tmpstr, rec.str)
+        la   a0, tmpstr
+        addi a1, s3, 16
+        call strcpy
+        # leaf procedures on the record's ints
+        lw   a0, 0(s3)
+        lw   a1, 4(s3)
+        call proc_min
+        sw   a0, 4(s3)          # b = min(a, b)
+        lw   t2, 12(s3)         # kind drives a switch-like chain
+        beqz t2, knd0
+        li   t3, 1
+        beq  t2, t3, knd1
+        li   t3, 2
+        beq  t2, t3, knd2
+        addi s11, s11, 3
+        j    kdone
+knd0:   addi s11, s11, 7
+        j    kdone
+knd1:   slli s11, s11, 1
+        j    kdone
+knd2:   srli s11, s11, 1
+kdone:  lw   s3, 8(s3)          # next
+        j    walk
+walked: addi s2, s2, 1
+        li   t0, LOOPS
+        blt  s2, t0, outer
+        ori  a0, s11, 1
+        halt
+
+# strcmp: a0 = first NUL-terminated string, a1 = second.
+# Returns 0 if equal, else (first differing byte difference).
+strcmp: lbu  t0, 0(a0)
+        lbu  t1, 0(a1)
+        bne  t0, t1, scdiff
+        beqz t0, sceq
+        addi a0, a0, 1
+        addi a1, a1, 1
+        j    strcmp
+sceq:   li   a0, 0
+        ret
+scdiff: sub  a0, t0, t1
+        ret
+
+# strcpy: a0 = dest, a1 = src (NUL-terminated, < 16 bytes).
+strcpy: lbu  t0, 0(a1)
+        sb   t0, 0(a0)
+        beqz t0, spdone
+        addi a0, a0, 1
+        addi a1, a1, 1
+        j    strcpy
+spdone: ret
+
+# proc_min: a0 = min(a0, a1)
+proc_min:
+        ble  a0, a1, pmret
+        mv   a0, a1
+pmret:  ret
+"#,
+        records = RECORDS,
+        loops = loops,
+        recs_bytes = RECORDS * REC_BYTES,
+        rec_bytes = REC_BYTES,
+    )
+}

@@ -1,0 +1,206 @@
+//! 256-point radix-2 decimation-in-time fixed-point FFT, repeated over the
+//! same input (bit-reversal copy + 8 butterfly stages per repetition).
+//!
+//! Twiddle factors are Q14; inputs are bounded to ±300 so intermediate
+//! products stay within `i32` for typical stages (and the Rust reference
+//! uses identical wrapping arithmetic either way).
+
+use crate::gen::{bit_reverse_table, cosine_table_q14, sine_table_q14, words, XorShift32};
+
+/// FFT length (fixed).
+pub const N: usize = 256;
+/// Repetitions of the whole transform at scale 1.
+pub const REPS_PER_SCALE: u32 = 4;
+
+pub(crate) fn input_re_im() -> (Vec<i64>, Vec<i64>) {
+    let mut rng = XorShift32::new(0xff70_0002);
+    let re = (0..N).map(|_| i64::from(rng.below(601)) - 300).collect();
+    let im = (0..N).map(|_| i64::from(rng.below(601)) - 300).collect();
+    (re, im)
+}
+
+/// Builds the kernel source.
+#[must_use]
+pub fn source(scale: u32) -> String {
+    let reps = REPS_PER_SCALE * scale;
+    let (re, im) = input_re_im();
+    let src_re = words("src_re", &re);
+    let src_im = words("src_im", &im);
+    let rev = words("rev", &bit_reverse_table(N));
+    // Twiddle for butterfly j at stage with `half`: index j * (128/half)
+    // into half-cycle tables: w = exp(-2πi k / 256) for k in 0..128.
+    let wr = words(
+        "wr",
+        &cosine_table_q14(N)[..N / 2],
+    );
+    let wi = words(
+        "wi",
+        &sine_table_q14(N)[..N / 2]
+            .iter()
+            .map(|&v| -v)
+            .collect::<Vec<_>>(),
+    );
+    format!(
+        r#"# FFT benchmark: {reps} x 256-point radix-2 DIT, Q14 twiddles.
+        .equ REPS, {reps}
+        .data
+{src_re}
+{src_im}
+{rev}
+{wr}
+{wi}
+re:     .space 1024
+im:     .space 1024
+        .text
+main:   la   a2, re
+        la   a3, im
+        li   s0, 0              # repetition counter
+reploop:
+        # bit-reversed copy from src into working arrays
+        li   t0, 0
+brcopy: slli t1, t0, 2
+        la   t2, rev
+        add  t2, t2, t1
+        lw   t3, 0(t2)
+        slli t3, t3, 2
+        la   t4, src_re
+        add  t4, t4, t3
+        lw   t5, 0(t4)
+        add  t4, a2, t1
+        sw   t5, 0(t4)
+        la   t4, src_im
+        add  t4, t4, t3
+        lw   t5, 0(t4)
+        add  t4, a3, t1
+        sw   t5, 0(t4)
+        addi t0, t0, 1
+        li   t1, 256
+        blt  t0, t1, brcopy
+
+        li   s1, 2              # len
+stage:  srli s2, s1, 1          # half
+        li   s3, 128
+        div  s3, s3, s2         # twiddle stride
+        li   s4, 0              # group base i
+grp:    li   s5, 0              # j
+bfly:   add  t0, s4, s5         # idx1
+        add  t1, t0, s2         # idx2
+        mul  t2, s5, s3
+        slli t2, t2, 2
+        la   t3, wr
+        add  t3, t3, t2
+        lw   a4, 0(t3)          # wr
+        la   t3, wi
+        add  t3, t3, t2
+        lw   a5, 0(t3)          # wi
+        slli t2, t1, 2
+        add  t3, a2, t2
+        lw   a6, 0(t3)          # b_re
+        add  t3, a3, t2
+        lw   a7, 0(t3)          # b_im
+        mul  t4, a4, a6
+        mul  t6, a5, a7
+        sub  t4, t4, t6
+        srai t4, t4, 14         # t_re
+        mul  t5, a4, a7
+        mul  t6, a5, a6
+        add  t5, t5, t6
+        srai t5, t5, 14         # t_im
+        slli t6, t0, 2
+        add  t3, a2, t6
+        lw   s6, 0(t3)          # a_re
+        add  t3, a3, t6
+        lw   s7, 0(t3)          # a_im
+        sub  a6, s6, t4
+        add  t3, a2, t2
+        sw   a6, 0(t3)
+        sub  a7, s7, t5
+        add  t3, a3, t2
+        sw   a7, 0(t3)
+        add  a6, s6, t4
+        add  t3, a2, t6
+        sw   a6, 0(t3)
+        add  a7, s7, t5
+        add  t3, a3, t6
+        sw   a7, 0(t3)
+        addi s5, s5, 1
+        blt  s5, s2, bfly
+        add  s4, s4, s1
+        li   t6, 256
+        blt  s4, t6, grp
+        slli s1, s1, 1
+        li   t6, 256
+        ble  s1, t6, stage
+
+        addi s0, s0, 1
+        li   t6, REPS
+        blt  s0, t6, reploop
+
+        # checksum over the final spectrum
+        li   s11, 0
+        li   t0, 0
+cksum:  slli t1, t0, 2
+        add  t2, a2, t1
+        lw   t3, 0(t2)
+        add  s11, s11, t3
+        add  t2, a3, t1
+        lw   t3, 0(t2)
+        add  s11, s11, t3
+        addi t0, t0, 1
+        li   t1, 256
+        blt  t0, t1, cksum
+        ori  a0, s11, 1
+        halt
+"#,
+        reps = reps,
+        src_re = src_re,
+        src_im = src_im,
+        rev = rev,
+        wr = wr,
+        wi = wi,
+    )
+}
+
+/// Rust reference model: the checksum the kernel must compute.
+#[must_use]
+pub fn reference_checksum() -> u32 {
+    let (re0, im0) = input_re_im();
+    let rev = bit_reverse_table(N);
+    let wr: Vec<i32> = cosine_table_q14(N)[..N / 2].iter().map(|&v| v as i32).collect();
+    let wi: Vec<i32> = sine_table_q14(N)[..N / 2].iter().map(|&v| -v as i32).collect();
+    let mut re = vec![0i32; N];
+    let mut im = vec![0i32; N];
+    for i in 0..N {
+        re[i] = re0[rev[i] as usize] as i32;
+        im[i] = im0[rev[i] as usize] as i32;
+    }
+    let mut len = 2;
+    while len <= N {
+        let half = len / 2;
+        let stride = 128 / half;
+        let mut i = 0;
+        while i < N {
+            for j in 0..half {
+                let w_re = wr[j * stride];
+                let w_im = wi[j * stride];
+                let b_re = re[i + j + half];
+                let b_im = im[i + j + half];
+                let t_re = w_re.wrapping_mul(b_re).wrapping_sub(w_im.wrapping_mul(b_im)) >> 14;
+                let t_im = w_re.wrapping_mul(b_im).wrapping_add(w_im.wrapping_mul(b_re)) >> 14;
+                let a_re = re[i + j];
+                let a_im = im[i + j];
+                re[i + j + half] = a_re.wrapping_sub(t_re);
+                im[i + j + half] = a_im.wrapping_sub(t_im);
+                re[i + j] = a_re.wrapping_add(t_re);
+                im[i + j] = a_im.wrapping_add(t_im);
+            }
+            i += len;
+        }
+        len *= 2;
+    }
+    let mut checksum: u32 = 0;
+    for i in 0..N {
+        checksum = checksum.wrapping_add(re[i] as u32).wrapping_add(im[i] as u32);
+    }
+    checksum | 1
+}

@@ -1,0 +1,211 @@
+//! JPEG encoder core: per 8×8 block — level shift, 2-D integer DCT,
+//! quantization against the standard luminance table, zigzag reordering and
+//! run-length encoding of zeros. The block pipeline (byte loads, matrix
+//! loops, table-indexed gathers, sequential appends) mirrors a real
+//! baseline JPEG compressor's hot path.
+
+use crate::gen::{dct8_coefficients_q6, synthetic_frame, words};
+
+/// Blocks encoded at scale 1.
+pub const BLOCKS_PER_SCALE: u32 = 8;
+const FRAME_W: usize = 64;
+const FRAME_H: usize = 48;
+
+/// The Annex-K JPEG luminance quantization table.
+const QTABLE: [i64; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The JPEG zigzag scan order (source index for each output position).
+const ZIGZAG: [i64; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Builds the kernel source.
+#[must_use]
+pub fn source(scale: u32) -> String {
+    let nb = BLOCKS_PER_SCALE * scale;
+    let frame = synthetic_frame(FRAME_W, FRAME_H, 0x0f0e_0004);
+    let frame_data = crate::gen::bytes("frame", &frame);
+    let coef = words("coef", &dct8_coefficients_q6());
+    let qt = words("qtab", &QTABLE);
+    let zz = words("zigzag", &ZIGZAG);
+    // Blocks wrap around the frame's 8x6 grid of 8x8 blocks.
+    format!(
+        r#"# jpeg_enc benchmark: {nb} blocks through DCT+quant+zigzag+RLE.
+        .equ NB, {nb}
+        .equ FRAMEW, {frame_w}
+        .data
+{frame_data}
+        .align 2
+{coef}
+{qt}
+{zz}
+xbuf:   .space 256
+tbuf:   .space 256
+ybuf:   .space 256
+zbuf:   .space 256
+outbuf: .space {obytes}
+        .text
+main:   li   s0, 0              # block counter
+        la   s7, outbuf
+        li   s11, 0             # checksum
+blkloop:
+        # block coordinates: bx = s0 % 8, by = (s0 / 8) % 6
+        andi s1, s0, 7
+        srli s2, s0, 3
+        li   t0, 6
+        rem  s2, s2, t0
+        # load the block: xbuf[y*8+x] = frame[(by*8+y)*64 + bx*8+x] - 128
+        li   t0, 0              # y
+ldy:    li   t1, 0              # x
+ldx:    slli t2, s2, 3
+        add  t2, t2, t0         # by*8 + y
+        slli t2, t2, 6          # * FRAMEW
+        slli t3, s1, 3
+        add  t3, t3, t1
+        add  t2, t2, t3
+        la   t4, frame
+        add  t4, t4, t2
+        lbu  t5, 0(t4)
+        addi t5, t5, -128
+        slli t2, t0, 5
+        slli t3, t1, 2
+        add  t2, t2, t3
+        la   t4, xbuf
+        add  t4, t4, t2
+        sw   t5, 0(t4)
+        addi t1, t1, 1
+        li   t2, 8
+        blt  t1, t2, ldx
+        addi t0, t0, 1
+        li   t2, 8
+        blt  t0, t2, ldy
+
+        la   a0, coef           # T = C * X
+        la   a1, xbuf
+        la   a2, tbuf
+        li   a3, 0
+        call mm8
+        la   a0, tbuf           # Y = T * C^T
+        la   a1, coef
+        la   a2, ybuf
+        li   a3, 1
+        call mm8
+
+        # quantize + zigzag: zbuf[i] = (ybuf[zigzag[i]]) / qtab[zigzag[i]]
+        li   t0, 0
+qz:     slli t1, t0, 2
+        la   t2, zigzag
+        add  t2, t2, t1
+        lw   t3, 0(t2)          # src index
+        slli t3, t3, 2
+        la   t2, ybuf
+        add  t2, t2, t3
+        lw   t4, 0(t2)
+        la   t2, qtab
+        add  t2, t2, t3
+        lw   t5, 0(t2)
+        div  t4, t4, t5
+        la   t2, zbuf
+        add  t2, t2, t1
+        sw   t4, 0(t2)
+        addi t0, t0, 1
+        li   t1, 64
+        blt  t0, t1, qz
+
+        # RLE of zbuf: emit (run << 8) | (value & 0xff) per nonzero coeff.
+        li   t0, 0              # index
+        li   t6, 0              # zero-run length
+rle:    slli t1, t0, 2
+        la   t2, zbuf
+        add  t2, t2, t1
+        lw   t3, 0(t2)
+        bnez t3, rlev
+        addi t6, t6, 1
+        j    rlen
+rlev:   andi t4, t3, 255
+        slli t5, t6, 8
+        or   t4, t4, t5
+        sw   t4, 0(s7)
+        addi s7, s7, 4
+        add  s11, s11, t4
+        li   t6, 0
+rlen:   addi t0, t0, 1
+        li   t1, 64
+        blt  t0, t1, rle
+        # end-of-block marker folds the trailing run length in
+        slli t4, t6, 8
+        ori  t4, t4, 0xEB
+        sw   t4, 0(s7)
+        addi s7, s7, 4
+        add  s11, s11, t4
+
+        addi s0, s0, 1
+        li   t0, NB
+        blt  s0, t0, blkloop
+        ori  a0, s11, 1
+        halt
+
+# mm8: identical to the DCT kernel's matrix multiply (a0=A, a1=B, a2=C,
+# a3 = 1 to index B transposed), Q6 product scaling.
+mm8:    li   t0, 0
+mmi:    li   t1, 0
+mmj:    li   t2, 0
+        li   s5, 0
+mmk:    slli t3, t0, 5
+        slli t4, t2, 2
+        add  t3, t3, t4
+        add  t3, a0, t3
+        lw   t5, 0(t3)
+        beqz a3, mmb
+        slli t3, t1, 5
+        slli t4, t2, 2
+        j    mmsum
+mmb:    slli t3, t2, 5
+        slli t4, t1, 2
+mmsum:  add  t3, t3, t4
+        add  t3, a1, t3
+        lw   t6, 0(t3)
+        mul  t5, t5, t6
+        add  s5, s5, t5
+        addi t2, t2, 1
+        li   t3, 8
+        blt  t2, t3, mmk
+        srai s5, s5, 6
+        slli t3, t0, 5
+        slli t4, t1, 2
+        add  t3, t3, t4
+        add  t3, a2, t3
+        sw   s5, 0(t3)
+        addi t1, t1, 1
+        li   t3, 8
+        blt  t1, t3, mmj
+        addi t0, t0, 1
+        li   t3, 8
+        blt  t0, t3, mmi
+        ret
+"#,
+        nb = nb,
+        frame_w = FRAME_W,
+        frame_data = frame_data,
+        coef = coef,
+        qt = qt,
+        zz = zz,
+        obytes = nb * 4 * 70,
+    )
+}

@@ -1,0 +1,11 @@
+//! The seven benchmark kernels, one module each. Every `source(scale)`
+//! returns complete frv-lite assembly with embedded input data; all kernels
+//! leave a checksum in `a0` and halt.
+
+pub mod compress;
+pub mod dct;
+pub mod dhrystone;
+pub mod fft;
+pub mod jpeg;
+pub mod mpeg2;
+pub mod whetstone;

@@ -1,0 +1,152 @@
+//! MPEG-2 encoder core: full-search block motion estimation (sum of
+//! absolute differences over a ±2 pixel window) followed by residual
+//! computation — the byte-granular, windowed two-frame access pattern that
+//! dominates a video encoder's inter-frame path.
+
+use crate::gen::{bytes, shifted_frame, synthetic_frame};
+
+/// Macroblocks processed at scale 1.
+pub const BLOCKS_PER_SCALE: u32 = 16;
+const FRAME_W: usize = 80;
+const FRAME_H: usize = 40;
+
+/// Builds the kernel source.
+#[must_use]
+pub fn source(scale: u32) -> String {
+    let nmb = BLOCKS_PER_SCALE * scale;
+    let reference = synthetic_frame(FRAME_W, FRAME_H, 0x2be9_0005);
+    let current = shifted_frame(&reference, FRAME_W, FRAME_H, 1, -1, 0x2be9_0006);
+    let ref_data = bytes("ref", &reference);
+    let cur_data = bytes("cur", &current);
+    format!(
+        r#"# mpeg2enc benchmark: {nmb} 8x8 blocks, full search +/-2, {fw}x{fh} frames.
+        .equ NMB, {nmb}
+        .equ FRAMEW, {fw}
+        .data
+{ref_data}
+{cur_data}
+resbuf: .space 64
+        .text
+main:   li   s0, 0              # block counter
+        li   s11, 0             # checksum
+mbloop:
+        # bx = 1 + s0 % 8, by = 1 + (s0 >> 3) % 2  (inner blocks only,
+        # so the +/-2 search window never leaves the frame)
+        andi s1, s0, 7
+        addi s1, s1, 1
+        srli s2, s0, 3
+        andi s2, s2, 1
+        addi s2, s2, 1
+        slli t0, s2, 3
+        li   t1, FRAMEW
+        mul  t0, t0, t1
+        slli t1, s1, 3
+        add  t0, t0, t1         # pixel offset of block origin
+        la   t2, cur
+        add  s7, t2, t0         # current-block origin
+        la   t2, ref
+        add  s8, t2, t0         # co-located reference origin
+        li   s3, 0x7fffffff     # best SAD
+        li   s4, 0              # best motion vector (packed)
+        li   s5, -2             # dy
+dyloop: li   s6, -2             # dx
+dxloop: li   t0, FRAMEW
+        mul  t0, s5, t0
+        add  t0, t0, s6
+        add  a1, s8, t0         # candidate origin
+        mv   a0, s7
+        addi sp, sp, -4
+        sw   ra, 0(sp)
+        call sad8
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        bge  a0, s3, notbest
+        mv   s3, a0
+        addi t0, s5, 2
+        slli t0, t0, 4
+        addi t1, s6, 2
+        or   s4, t0, t1         # mv = (dy+2) << 4 | (dx+2)
+notbest:
+        addi s6, s6, 1
+        li   t0, 3
+        blt  s6, t0, dxloop
+        addi s5, s5, 1
+        li   t0, 3
+        blt  s5, t0, dyloop
+        add  s11, s11, s3
+        add  s11, s11, s4
+
+        # residual against the best candidate
+        srli t0, s4, 4
+        addi t0, t0, -2
+        andi t1, s4, 15
+        addi t1, t1, -2
+        li   t2, FRAMEW
+        mul  t0, t0, t2
+        add  t0, t0, t1
+        add  a1, s8, t0
+        mv   a0, s7
+        la   a2, resbuf
+        li   t0, 0              # y
+resy:   li   t1, 0              # x
+resx:   add  t2, a0, t1
+        lbu  t3, 0(t2)
+        add  t2, a1, t1
+        lbu  t4, 0(t2)
+        sub  t3, t3, t4
+        add  t2, a2, t1
+        sb   t3, 0(t2)
+        addi t1, t1, 1
+        li   t2, 8
+        blt  t1, t2, resx
+        addi a0, a0, FRAMEW
+        addi a1, a1, FRAMEW
+        addi a2, a2, 8
+        addi t0, t0, 1
+        li   t2, 8
+        blt  t0, t2, resy
+        # fold a few residual bytes into the checksum
+        la   t2, resbuf
+        lbu  t3, 0(t2)
+        lbu  t4, 63(t2)
+        add  s11, s11, t3
+        add  s11, s11, t4
+
+        addi s0, s0, 1
+        li   t0, NMB
+        blt  s0, t0, mbloop
+        ori  a0, s11, 1
+        halt
+
+# sad8: a0 = current origin, a1 = candidate origin.
+# Returns the 8x8 sum of absolute differences in a0. Clobbers t0-t6.
+sad8:   li   t0, 0
+        li   t5, 0
+sady:   li   t1, 0
+sadx:   add  t2, a0, t1
+        lbu  t3, 0(t2)
+        add  t2, a1, t1
+        lbu  t4, 0(t2)
+        sub  t3, t3, t4
+        srai t6, t3, 31
+        xor  t3, t3, t6
+        sub  t3, t3, t6         # |cur - ref|
+        add  t5, t5, t3
+        addi t1, t1, 1
+        li   t2, 8
+        blt  t1, t2, sadx
+        addi a0, a0, FRAMEW
+        addi a1, a1, FRAMEW
+        addi t0, t0, 1
+        li   t2, 8
+        blt  t0, t2, sady
+        mv   a0, t5
+        ret
+"#,
+        nmb = nmb,
+        fw = FRAME_W,
+        fh = FRAME_H,
+        ref_data = ref_data,
+        cur_data = cur_data,
+    )
+}

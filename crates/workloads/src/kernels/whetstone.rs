@@ -1,0 +1,161 @@
+//! Whetstone-flavoured scalar benchmark in Q12 fixed point: the classic
+//! module mix — element identities on a small array, tight procedure calls,
+//! conditional-jump toggling and table-driven "trig" — dominated by
+//! register arithmetic with a sprinkle of stack and table traffic, which is
+//! exactly why whetstone shows the weakest D-cache savings in the paper.
+
+use crate::gen::{sine_table_q14, words};
+
+/// Outer iterations at scale 1.
+pub const LOOPS_PER_SCALE: u32 = 60;
+
+/// Builds the kernel source.
+#[must_use]
+pub fn source(scale: u32) -> String {
+    let loops = LOOPS_PER_SCALE * scale;
+    let sine = words("sintab", &sine_table_q14(256));
+    format!(
+        r#"# whetstone benchmark: {loops} iterations of fixed-point modules.
+        .equ LOOPS, {loops}
+        .equ THALF, 2005        # ~0.489 in Q12
+        .data
+e1:     .word 4096, -4096, -4096, -4096   # 1.0, -1.0, -1.0, -1.0 in Q12
+{sine}
+        .text
+main:   li   s0, 0              # iteration
+        li   s11, 0             # checksum
+iter:
+        # --- module 1: identities on four scalars (registers) ---
+        li   s1, 4096           # x1 = 1.0
+        li   s2, -4096
+        li   s3, -4096
+        li   s4, -4096
+        li   t0, 12             # inner repetitions
+m1:     add  t1, s1, s2
+        add  t1, t1, s3
+        sub  t1, t1, s4
+        li   t2, THALF
+        mul  t1, t1, t2
+        srai s1, t1, 12         # x1 = (x1+x2+x3-x4)*t
+        add  t1, s1, s2
+        sub  t1, t1, s3
+        add  t1, t1, s4
+        mul  t1, t1, t2
+        srai s2, t1, 12
+        sub  t1, s1, s2
+        add  t1, t1, s3
+        add  t1, t1, s4
+        mul  t1, t1, t2
+        srai s3, t1, 12
+        add  t1, s1, s2
+        add  t1, t1, s3
+        add  t1, t1, s4
+        mul  t1, t1, t2
+        srai s4, t1, 12
+        addi t0, t0, -1
+        bnez t0, m1
+        add  s11, s11, s1
+        add  s11, s11, s4
+
+        # --- module 2: array elements through memory ---
+        la   s5, e1
+        li   t0, 10
+m2:     lw   t1, 0(s5)
+        lw   t2, 4(s5)
+        lw   t3, 8(s5)
+        lw   t4, 12(s5)
+        add  t5, t1, t2
+        add  t5, t5, t3
+        sub  t5, t5, t4
+        li   t6, THALF
+        mul  t5, t5, t6
+        srai t5, t5, 12
+        sw   t5, 0(s5)
+        add  t5, t1, t2
+        sub  t5, t5, t3
+        add  t5, t5, t4
+        mul  t5, t5, t6
+        srai t5, t5, 12
+        sw   t5, 4(s5)
+        sub  t5, t1, t2
+        add  t5, t5, t3
+        add  t5, t5, t4
+        mul  t5, t5, t6
+        srai t5, t5, 12
+        sw   t5, 8(s5)
+        addi t0, t0, -1
+        bnez t0, m2
+        lw   t1, 0(s5)
+        add  s11, s11, t1
+
+        # --- module 3: procedure calls with stack traffic ---
+        li   t0, 8
+        li   a0, 4096
+        li   a1, -2048
+m3:     addi sp, sp, -8
+        sw   t0, 0(sp)
+        sw   ra, 4(sp)
+        call pa
+        lw   ra, 4(sp)
+        lw   t0, 0(sp)
+        addi sp, sp, 8
+        addi t0, t0, -1
+        bnez t0, m3
+        add  s11, s11, a0
+
+        # --- module 4: conditional jumps toggling a flag ---
+        li   t0, 16
+        li   t1, 1
+m4:     li   t2, 1
+        bne  t1, t2, m4a
+        li   t1, 0
+        j    m4b
+m4a:    li   t1, 1
+m4b:    addi t0, t0, -1
+        bnez t0, m4
+        add  s11, s11, t1
+
+        # --- module 7: table-driven trig-like references ---
+        li   t0, 24
+        mv   t3, s0             # phase depends on iteration
+m7:     andi t4, t3, 255
+        slli t4, t4, 2
+        la   t5, sintab
+        add  t5, t5, t4
+        lw   t6, 0(t5)          # sin(x)
+        addi t4, t3, 64         # cos via phase shift
+        andi t4, t4, 255
+        slli t4, t4, 2
+        la   t5, sintab
+        add  t5, t5, t4
+        lw   t2, 0(t5)          # cos(x)
+        mul  t6, t6, t2
+        srai t6, t6, 14         # sin*cos
+        add  s11, s11, t6
+        addi t3, t3, 7
+        addi t0, t0, -1
+        bnez t0, m7
+
+        addi s0, s0, 1
+        li   t0, LOOPS
+        blt  s0, t0, iter
+        ori  a0, s11, 1
+        halt
+
+# pa: six dependent fixed-point operations on (a0, a1), like whetstone's P3.
+pa:     li   t5, THALF
+        add  t6, a0, a1
+        mul  t6, t6, t5
+        srai a0, t6, 12
+        sub  t6, a0, a1
+        mul  t6, t6, t5
+        srai a1, t6, 12
+        add  t6, a0, a1
+        mul  t6, t6, t5
+        srai a0, t6, 12
+        ret
+"#,
+        loops = loops,
+        sine = sine,
+    )
+}

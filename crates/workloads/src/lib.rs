@@ -1,0 +1,220 @@
+//! # waymem-workloads — the seven DATE 2005 benchmark kernels for frv-lite
+//!
+//! The paper evaluates on *DCT, FFT, dhrystone, whetstone, compress, jpeg
+//! encoder and mpeg2 encoder*, compiled for the FR-V with Fujitsu's
+//! toolchain. Those binaries are unavailable, so this crate re-implements
+//! each kernel in frv-lite assembly with deterministic, seeded synthetic
+//! input data. What matters for way memoization is the **shape of the
+//! address streams** — blocked matrix loops (DCT/jpeg), strided butterflies
+//! (FFT), record/string traffic (dhrystone), scalar loop nests (whetstone),
+//! dictionary probing (compress) and windowed search (mpeg2) — which these
+//! kernels reproduce.
+//!
+//! Every kernel finishes with a checksum in `a0` and halts, so tests can
+//! pin behavioural determinism, and three of them (DCT, FFT, compress) are
+//! verified against independent Rust reference implementations.
+//!
+//! ```
+//! use waymem_workloads::Benchmark;
+//! use waymem_isa::{Cpu, NullSink};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wl = Benchmark::Dct.workload(1)?;
+//! let mut cpu = Cpu::new(&wl.program);
+//! let out = cpu.run(wl.max_steps, &mut NullSink)?;
+//! assert!(out.halted());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod gen;
+mod kernels;
+
+pub use gen::XorShift32;
+
+/// Rust reference models for kernels whose results are independently
+/// verifiable (see the `reference_models` integration test).
+pub mod reference {
+    /// Expected `a0` checksum of the DCT kernel at `scale`.
+    #[must_use]
+    pub fn dct_checksum(scale: u32) -> u32 {
+        crate::kernels::dct::reference_checksum(scale)
+    }
+
+    /// Expected `a0` checksum of the FFT kernel (scale-independent result;
+    /// repetitions recompute the same transform).
+    #[must_use]
+    pub fn fft_checksum() -> u32 {
+        crate::kernels::fft::reference_checksum()
+    }
+
+    /// Expected `a0` checksum of the compress kernel at `scale`.
+    #[must_use]
+    pub fn compress_checksum(scale: u32) -> u32 {
+        crate::kernels::compress::reference_checksum(scale)
+    }
+}
+
+use waymem_isa::{assemble, AsmError, Program};
+
+/// One of the paper's seven benchmark programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// 8×8 two-dimensional integer DCT over a stream of blocks.
+    Dct,
+    /// 256-point radix-2 fixed-point FFT, repeated over fresh data.
+    Fft,
+    /// Dhrystone-flavoured record, string and linked-list manipulation.
+    Dhrystone,
+    /// Whetstone-flavoured scalar arithmetic modules (fixed-point).
+    Whetstone,
+    /// LZW compression of a synthetic text corpus.
+    Compress,
+    /// JPEG encoder core: level-shift, DCT, quantization, zigzag + RLE.
+    JpegEnc,
+    /// MPEG-2 encoder core: block motion search (SAD) + residual.
+    Mpeg2Enc,
+}
+
+impl Benchmark {
+    /// All seven benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::Dct,
+        Benchmark::Fft,
+        Benchmark::Dhrystone,
+        Benchmark::Whetstone,
+        Benchmark::Compress,
+        Benchmark::JpegEnc,
+        Benchmark::Mpeg2Enc,
+    ];
+
+    /// The short name used in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Dct => "DCT",
+            Benchmark::Fft => "FFT",
+            Benchmark::Dhrystone => "dhrystone",
+            Benchmark::Whetstone => "whetstone",
+            Benchmark::Compress => "compress",
+            Benchmark::JpegEnc => "jpeg_enc",
+            Benchmark::Mpeg2Enc => "mpeg2enc",
+        }
+    }
+
+    /// Generates the kernel's assembly source at the given scale factor
+    /// (1 = the default ~10^5-instruction configuration; larger scales
+    /// multiply the input size / iteration count).
+    #[must_use]
+    pub fn source(self, scale: u32) -> String {
+        let scale = scale.max(1);
+        match self {
+            Benchmark::Dct => kernels::dct::source(scale),
+            Benchmark::Fft => kernels::fft::source(scale),
+            Benchmark::Dhrystone => kernels::dhrystone::source(scale),
+            Benchmark::Whetstone => kernels::whetstone::source(scale),
+            Benchmark::Compress => kernels::compress::source(scale),
+            Benchmark::JpegEnc => kernels::jpeg::source(scale),
+            Benchmark::Mpeg2Enc => kernels::mpeg2::source(scale),
+        }
+    }
+
+    /// Assembles the kernel into a runnable [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AsmError`] if the generated source fails to assemble
+    /// (a bug in this crate, surfaced rather than panicking).
+    pub fn workload(self, scale: u32) -> Result<Workload, AsmError> {
+        let program = assemble(&self.source(scale))?;
+        Ok(Workload {
+            benchmark: self,
+            program,
+            max_steps: 30_000_000 * u64::from(scale.max(1)),
+        })
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An assembled, runnable benchmark.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which benchmark this is.
+    pub benchmark: Benchmark,
+    /// The assembled program.
+    pub program: Program,
+    /// A generous step budget; every kernel halts well inside it.
+    pub max_steps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waymem_isa::{Cpu, NullSink};
+
+    fn run(b: Benchmark) -> (u32, u64) {
+        let wl = b.workload(1).expect("kernel assembles");
+        let mut cpu = Cpu::new(&wl.program);
+        let out = cpu.run(wl.max_steps, &mut NullSink).expect("kernel runs");
+        assert!(out.halted(), "{b} must halt");
+        (cpu.reg(10), cpu.instret()) // a0 checksum, instructions retired
+    }
+
+    #[test]
+    fn all_benchmarks_assemble_run_and_halt() {
+        for b in Benchmark::ALL {
+            let (checksum, instret) = run(b);
+            assert!(
+                instret > 50_000,
+                "{b} retired only {instret} instructions; too small to exercise caches"
+            );
+            assert_ne!(checksum, 0, "{b} checksum should be non-trivial");
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        for b in [Benchmark::Dct, Benchmark::Compress, Benchmark::Mpeg2Enc] {
+            assert_eq!(run(b), run(b), "{b} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "DCT",
+                "FFT",
+                "dhrystone",
+                "whetstone",
+                "compress",
+                "jpeg_enc",
+                "mpeg2enc"
+            ]
+        );
+    }
+
+    #[test]
+    fn scale_increases_work() {
+        let (_, small) = {
+            let wl = Benchmark::Dct.workload(1).unwrap();
+            let mut cpu = Cpu::new(&wl.program);
+            cpu.run(wl.max_steps, &mut NullSink).unwrap();
+            (cpu.reg(10), cpu.instret())
+        };
+        let wl = Benchmark::Dct.workload(2).unwrap();
+        let mut cpu = Cpu::new(&wl.program);
+        cpu.run(wl.max_steps, &mut NullSink).unwrap();
+        assert!(cpu.instret() > small, "scale 2 must do more work");
+    }
+}

@@ -1,0 +1,47 @@
+//! Cross-checks three kernels against independent Rust reference models:
+//! the assembly program's `a0` checksum must equal the value computed by a
+//! straightforward Rust re-implementation of the same fixed-point
+//! algorithm. This pins down not just determinism but *correctness* of the
+//! assembler, the CPU and the kernels simultaneously.
+
+use waymem_isa::{Cpu, NullSink};
+use waymem_workloads::Benchmark;
+
+fn run_checksum(b: Benchmark, scale: u32) -> u32 {
+    let wl = b.workload(scale).expect("kernel assembles");
+    let mut cpu = Cpu::new(&wl.program);
+    let out = cpu.run(wl.max_steps, &mut NullSink).expect("kernel runs");
+    assert!(out.halted(), "{b} must halt");
+    cpu.reg(10)
+}
+
+#[test]
+fn dct_matches_rust_reference() {
+    // The reference re-implements Y = (C·X·Cᵀ) in the same Q6 arithmetic.
+    let expected = waymem_workloads::reference::dct_checksum(1);
+    assert_eq!(run_checksum(Benchmark::Dct, 1), expected);
+}
+
+#[test]
+fn dct_matches_rust_reference_at_scale_2() {
+    let expected = waymem_workloads::reference::dct_checksum(2);
+    assert_eq!(run_checksum(Benchmark::Dct, 2), expected);
+}
+
+#[test]
+fn fft_matches_rust_reference() {
+    let expected = waymem_workloads::reference::fft_checksum();
+    assert_eq!(run_checksum(Benchmark::Fft, 1), expected);
+}
+
+#[test]
+fn compress_matches_rust_reference() {
+    let expected = waymem_workloads::reference::compress_checksum(1);
+    assert_eq!(run_checksum(Benchmark::Compress, 1), expected);
+}
+
+#[test]
+fn compress_matches_rust_reference_at_scale_2() {
+    let expected = waymem_workloads::reference::compress_checksum(2);
+    assert_eq!(run_checksum(Benchmark::Compress, 2), expected);
+}

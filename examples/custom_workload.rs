@@ -1,0 +1,116 @@
+//! Bring your own workload: write frv-lite assembly, run it through the
+//! CPU, and attach any cache front-ends you like. This example implements
+//! a pointer-chasing microkernel (a worst case for the set buffer, a good
+//! case for the MAB) and compares the two.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use waymem::isa::{assemble, Cpu, FetchKind, TraceSink};
+use waymem::prelude::*;
+use waymem::sim::{DFront, IFront};
+
+/// Adapter feeding CPU trace events into hand-picked front-ends.
+struct Fronts {
+    d: Vec<DFront>,
+    i: Vec<IFront>,
+}
+
+impl TraceSink for Fronts {
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        for f in &mut self.i {
+            f.fetch(pc, kind);
+        }
+    }
+    fn load(&mut self, base: u32, disp: i32, addr: u32, _size: u8) {
+        for f in &mut self.d {
+            f.access(false, base, disp, addr);
+        }
+    }
+    fn store(&mut self, base: u32, disp: i32, addr: u32, _size: u8) {
+        for f in &mut self.d {
+            f.access(true, base, disp, addr);
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A ring of nodes, each 64 bytes apart (every hop changes the cache
+    // set). The set buffer gets nothing; the MAB memoizes the ring.
+    let program = assemble(
+        r#"
+        .equ NODES, 8
+        .equ HOPS, 4000
+        .data
+ring:   .space 512              # 8 nodes x 64 bytes, next-pointer at +0
+        .text
+main:   # build the ring: node[i].next = &node[i+1], last wraps to first
+        la   t0, ring
+        li   t1, 0
+build:  slli t2, t1, 6
+        add  t3, t0, t2         # &node[i]
+        addi t4, t1, 1
+        andi t4, t4, NODES-1
+        slli t4, t4, 6
+        add  t4, t0, t4         # &node[(i+1) % NODES]
+        sw   t4, 0(t3)
+        sw   t1, 4(t3)          # payload
+        addi t1, t1, 1
+        li   t2, NODES
+        blt  t1, t2, build
+
+        # chase the ring
+        la   t0, ring
+        li   t1, 0              # hop counter
+        li   s11, 0
+chase:  lw   t2, 4(t0)          # payload
+        add  s11, s11, t2
+        lw   t0, 0(t0)          # follow next
+        addi t1, t1, 1
+        li   t2, HOPS
+        blt  t1, t2, chase
+        ori  a0, s11, 1
+        halt
+        "#,
+    )?;
+
+    let geometry = Geometry::frv();
+    let mut fronts = Fronts {
+        d: vec![
+            DScheme::SetBuffer { entries: 1 }.build(geometry),
+            DScheme::paper_way_memo().build(geometry),
+        ],
+        i: vec![IScheme::paper_way_memo().build(geometry)],
+    };
+
+    let mut cpu = Cpu::new(&program);
+    let outcome = cpu.run(10_000_000, &mut fronts)?;
+    assert!(outcome.halted());
+
+    println!(
+        "pointer chase finished: checksum {:#x}, {} instructions\n",
+        cpu.reg(10),
+        cpu.instret()
+    );
+    for f in &fronts.d {
+        let s = f.stats();
+        println!(
+            "D {:<18} tags/access {:.3}  buffer/MAB hits {:>6}",
+            f.scheme().name(),
+            s.tags_per_access(),
+            s.buffer_hits.max(s.mab_hits),
+        );
+    }
+    let i = &fronts.i[0];
+    println!(
+        "I {:<18} tags/access {:.3}  intra-line skips {}",
+        i.scheme().name(),
+        i.stats().tags_per_access(),
+        i.stats().intra_line_skips
+    );
+    println!("\nevery hop lands in a different set: the set buffer only catches the");
+    println!("second load within each node (half the accesses), while the MAB's");
+    println!("2x8 cross-product memoizes the whole ring and removes nearly all tags.");
+    Ok(())
+}

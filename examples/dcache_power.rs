@@ -1,0 +1,51 @@
+//! D-cache scheme shoot-out across all seven benchmarks: conventional,
+//! set buffer, way prediction, two-phase, the paper's MAB and the
+//! MAB + line-buffer hybrid — power *and* cycle penalties side by side.
+//!
+//! This is the experiment a designer evaluating the paper would actually
+//! run: "which low-power D-cache trick do I take, and what does it cost?"
+//!
+//! ```sh
+//! cargo run --release --example dcache_power
+//! ```
+
+use waymem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SimConfig::default();
+    let schemes = [
+        DScheme::Original,
+        DScheme::SetBuffer { entries: 1 },
+        DScheme::FilterCache { lines: 4 },
+        DScheme::WayPredict,
+        DScheme::TwoPhase,
+        DScheme::paper_way_memo(),
+        DScheme::WayMemoLineBuffer {
+            tag_entries: 2,
+            set_entries: 8,
+            line_entries: 2,
+        },
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>16} {:>15} {:>14} {:>13} {:>13} {:>15}",
+        "benchmark", "original", "set_buffer[14]", "filter[6]", "way_pred[9]", "2-phase[8]", "MAB 2x8", "MAB+linebuf"
+    );
+    for &bench in &Benchmark::ALL {
+        let r = run_benchmark(bench, &cfg, &schemes, &[])?;
+        print!("{:<12}", r.benchmark.name());
+        for s in &r.dcache {
+            let penalty = if s.extra_cycles > 0 {
+                format!("+{}c", s.extra_cycles / 1000)
+            } else {
+                String::new()
+            };
+            print!(" {:>9.2}{:<5}", s.power.total_mw(), penalty);
+        }
+        println!();
+    }
+    println!("\n(power in mW; +Nc = thousands of extra cycles paid by the scheme —");
+    println!(" the filter cache, way prediction and two-phase lookup all pay cycles;");
+    println!(" the MAB pays none.)");
+    Ok(())
+}

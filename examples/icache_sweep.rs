@@ -1,0 +1,63 @@
+//! I-MAB sizing sweep: how much instruction-cache power each MAB geometry
+//! saves relative to intra-line memoization (approach [4]), and where the
+//! returns flatten — the trade-off behind the paper's choice of 2x16 over
+//! 2x32 (7.5% vs 27.5% area).
+//!
+//! ```sh
+//! cargo run --release --example icache_sweep
+//! ```
+
+use waymem::hwmodel::{cache_area_mm2, mab_area_mm2, CacheShape, MabShape};
+use waymem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SimConfig::default();
+    let sizes: [(usize, usize); 4] = [(2, 8), (2, 16), (2, 32), (4, 16)];
+
+    let mut schemes = vec![IScheme::IntraLine];
+    schemes.extend(sizes.iter().map(|&(t, s)| IScheme::WayMemo {
+        tag_entries: t,
+        set_entries: s,
+    }));
+
+    println!(
+        "{:<12} {:>14} {}",
+        "benchmark",
+        "[4] mW",
+        sizes
+            .iter()
+            .map(|(t, s)| format!("{:>12}", format!("{t}x{s} mW")))
+            .collect::<String>()
+    );
+    let mut totals = vec![0.0f64; schemes.len()];
+    for &bench in &Benchmark::ALL {
+        let r = run_benchmark(bench, &cfg, &[], &schemes)?;
+        print!("{:<12}", r.benchmark.name());
+        for (i, s) in r.icache.iter().enumerate() {
+            totals[i] += s.power.total_mw();
+            if i == 0 {
+                print!(" {:>14.2}", s.power.total_mw());
+            } else {
+                print!(" {:>12.2}", s.power.total_mw());
+            }
+        }
+        println!();
+    }
+    println!();
+
+    // Pair the power column sums with the silicon each geometry costs.
+    let cache_area = cache_area_mm2(CacheShape::frv(), cfg.technology);
+    println!("geometry   sum power (7 benchmarks)   area overhead");
+    println!("[4]        {:>10.2} mW                (none)", totals[0]);
+    for (i, &(t, s)) in sizes.iter().enumerate() {
+        let area = mab_area_mm2(MabShape::frv(t as u32, s as u32), cfg.technology);
+        println!(
+            "{t}x{s:<8} {:>10.2} mW               {:>5.2} mm^2 ({:.1}% of cache)",
+            totals[i + 1],
+            area,
+            area / cache_area * 100.0
+        );
+    }
+    println!("\nthe paper picks 2x16: 2x32 saves little more power but costs ~4x the area.");
+    Ok(())
+}

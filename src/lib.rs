@@ -1,0 +1,58 @@
+//! # waymem — way memoization for low-power set-associative caches
+//!
+//! A full reproduction of Ishihara & Fallah, *"A Way Memoization Technique
+//! for Reducing Power Consumption of Caches in Application Specific
+//! Integrated Processors"* (DATE 2005), as a Rust workspace. This façade
+//! crate re-exports the public API of every member crate:
+//!
+//! * [`core`] — the Memory Address Buffer (MAB), the paper's contribution;
+//! * [`cache`] — the set-associative cache substrate with energy-relevant
+//!   accounting;
+//! * [`isa`] — the frv-lite CPU, assembler and trace machinery;
+//! * [`workloads`] — the seven benchmark kernels;
+//! * [`hwmodel`] — analytical area/delay/power models (Tables 1–3);
+//! * [`sim`] — cache front-ends for every scheme and the experiment
+//!   driver (Figures 4–8).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use waymem::sim::{run_benchmark, DScheme, IScheme, SimConfig};
+//! use waymem::workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let result = run_benchmark(
+//!     Benchmark::Dct,
+//!     &SimConfig::default(),
+//!     &[DScheme::Original, DScheme::paper_way_memo()],
+//!     &[IScheme::Original, IScheme::paper_way_memo()],
+//! )?;
+//! let saved = 1.0
+//!     - result.dcache[1].power.total_mw() / result.dcache[0].power.total_mw();
+//! println!("D-cache power saving on DCT: {:.0}%", saved * 100.0);
+//! assert!(saved > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use waymem_cache as cache;
+pub use waymem_core as core;
+pub use waymem_hwmodel as hwmodel;
+pub use waymem_isa as isa;
+pub use waymem_sim as sim;
+pub use waymem_workloads as workloads;
+
+/// Convenience re-exports of the types most programs start from.
+pub mod prelude {
+    pub use waymem_cache::{AccessStats, Geometry};
+    pub use waymem_core::{Mab, MabConfig, MabLookup};
+    pub use waymem_hwmodel::Technology;
+    pub use waymem_sim::{run_benchmark, DScheme, IScheme, SimConfig, SimResult};
+    pub use waymem_workloads::Benchmark;
+}
