@@ -1,0 +1,54 @@
+//! Bit-exact reproducibility of the experiment driver.
+//!
+//! Later performance refactors (parallel multi-scheme runs, trace
+//! batching) must not silently change results: two runs of the same
+//! benchmark under the same [`SimConfig`] have to produce *identical*
+//! accounting and power numbers, down to the last f64 bit.
+
+use waymem::prelude::*;
+use waymem::sim::SchemeResult;
+
+fn power_bits(r: &SchemeResult) -> [u64; 4] {
+    [
+        r.power.data_mw.to_bits(),
+        r.power.tag_mw.to_bits(),
+        r.power.mab_mw.to_bits(),
+        r.power.buffer_mw.to_bits(),
+    ]
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult) {
+    assert_eq!(a.benchmark, b.benchmark);
+    assert_eq!(a.cycles, b.cycles, "{}: cycle counts differ", a.benchmark);
+    assert_eq!(a.dcache.len(), b.dcache.len());
+    assert_eq!(a.icache.len(), b.icache.len());
+    for (x, y) in a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache)) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.stats, y.stats, "{}/{}: access stats differ", a.benchmark, x.name);
+        assert_eq!(x.energy, y.energy, "{}/{}: energy counts differ", a.benchmark, x.name);
+        assert_eq!(x.extra_cycles, y.extra_cycles);
+        assert_eq!(
+            power_bits(x),
+            power_bits(y),
+            "{}/{}: power not bit-identical",
+            a.benchmark,
+            x.name
+        );
+    }
+}
+
+#[test]
+fn run_benchmark_is_bit_identical_across_runs() {
+    let cfg = SimConfig::default();
+    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
+    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
+    for bench in [Benchmark::Dct, Benchmark::Fft] {
+        let first = run_benchmark(bench, &cfg, &dschemes, &ischemes).expect("first run");
+        let second = run_benchmark(bench, &cfg, &dschemes, &ischemes).expect("second run");
+        assert_identical(&first, &second);
+        // The runs must also do real work, or bit-identity is vacuous.
+        assert!(first.cycles > 50_000, "{bench}: suspiciously small run");
+        assert!(first.dcache[0].stats.accesses > 0);
+        assert!(first.icache[0].stats.accesses > 0);
+    }
+}

@@ -9,6 +9,47 @@ use waymem::hwmodel::{
 };
 use waymem::prelude::*;
 
+/// Compile-time name-check: every type and function `waymem::prelude`
+/// documents must resolve under exactly these names, with the expected
+/// shapes. This fails to *compile* (not merely to run) if a re-export is
+/// dropped or renamed, so downstream code can rely on the prelude.
+#[allow(dead_code)]
+fn prelude_reexports_are_stable() {
+    use waymem::prelude;
+
+    // Cache substrate.
+    type _AccessStats = prelude::AccessStats;
+    type _Geometry = prelude::Geometry;
+    // MAB (the paper's contribution).
+    type _Mab = prelude::Mab;
+    type _MabConfig = prelude::MabConfig;
+    type _MabLookup = prelude::MabLookup;
+    // Hardware models.
+    type _Technology = prelude::Technology;
+    // Simulation driver.
+    type _SimConfig = prelude::SimConfig;
+    type _SimResult = prelude::SimResult;
+    type _DScheme = prelude::DScheme;
+    type _IScheme = prelude::IScheme;
+    // Workloads.
+    type _Benchmark = prelude::Benchmark;
+
+    // `run_benchmark` must keep its driver signature.
+    #[allow(clippy::type_complexity)]
+    let _run: fn(
+        prelude::Benchmark,
+        &prelude::SimConfig,
+        &[prelude::DScheme],
+        &[prelude::IScheme],
+    ) -> Result<prelude::SimResult, waymem::sim::RunError> = prelude::run_benchmark;
+
+    // The prelude types must be the same items as the per-crate exports,
+    // not lookalikes (coercing a reference proves type identity).
+    let geom: &prelude::Geometry = &waymem::cache::Geometry::frv();
+    let _tech: &prelude::Technology = &waymem::hwmodel::Technology::frv_0130();
+    let _ = geom;
+}
+
 #[test]
 fn prelude_covers_the_basics() {
     let geom = Geometry::frv();

@@ -1,0 +1,11 @@
+//! Minimal API-compatible stand-in for `serde`.
+//!
+//! The build environment is offline, so the real `serde` cannot be fetched
+//! from crates.io. Workspace types use `#[derive(Serialize, Deserialize)]`
+//! purely as forward-looking annotations (no code serializes anything yet),
+//! so this crate re-exports no-op derive macros from the sibling
+//! `serde_derive` stub. Replacing both stubs with the real crates is a
+//! two-line `Cargo.toml` change and requires no source edits.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

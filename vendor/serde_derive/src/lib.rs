@@ -1,0 +1,22 @@
+//! No-op stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `serde_derive` cannot be fetched. The workspace types only *carry*
+//! `#[derive(Serialize, Deserialize)]` — nothing serializes at runtime yet —
+//! so these derives expand to nothing. Swapping the real serde back in is a
+//! two-line change in the root `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// Derives a no-op `Serialize` marker impl (accepts serde field/variant
+/// attributes so annotated types keep compiling).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives a no-op `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
