@@ -1,0 +1,153 @@
+//! Criterion benchmarks for the record/replay engine:
+//!
+//! * `engine/*` — one full DCT experiment (3 D- + 3 I-schemes) under the
+//!   legacy serial per-event fanout vs the record-once/replay-in-parallel
+//!   pipeline, plus the parallel 7-benchmark suite;
+//! * `sink_dispatch/*` — feeding a recorded DCT trace to a `dyn TraceSink`
+//!   one virtual call per event vs one `events` batch call (the
+//!   monomorphic slice loop the front-ends use).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use waymem_bench::{run_suite, run_suite_serial};
+use waymem_isa::{CountingSink, Cpu, RecordingSink, TraceEvent, TraceSink};
+use waymem_sim::{
+    record_trace, replay_trace, run_benchmark_fanout, DScheme, IScheme, SimConfig,
+};
+use waymem_workloads::Benchmark;
+
+fn paper_schemes() -> (Vec<DScheme>, Vec<IScheme>) {
+    (
+        vec![
+            DScheme::Original,
+            DScheme::SetBuffer { entries: 1 },
+            DScheme::paper_way_memo(),
+        ],
+        vec![
+            IScheme::Original,
+            IScheme::IntraLine,
+            IScheme::paper_way_memo(),
+        ],
+    )
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let (d, i) = paper_schemes();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("dct_fanout_3d3i", |b| {
+        b.iter(|| {
+            let r = run_benchmark_fanout(Benchmark::Dct, &cfg, &d, &i).expect("runs");
+            black_box(r.cycles)
+        })
+    });
+    group.bench_function("dct_replay_3d3i", |b| {
+        // The record/replay engine, invoked explicitly so the bench
+        // measures it even on hosts where `run_benchmark` would pick the
+        // fanout path (single-core).
+        b.iter(|| {
+            let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
+            let r = replay_trace(Benchmark::Dct, &trace, &cfg, &d, &i);
+            black_box(r.cycles)
+        })
+    });
+    group.bench_function("dct_replay_only_3d3i", |b| {
+        // Replay with the recording amortized away: the marginal cost of
+        // one more scheme-set over an already-recorded trace.
+        let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
+        b.iter(|| {
+            let r = replay_trace(Benchmark::Dct, &trace, &cfg, &d, &i);
+            black_box(r.cycles)
+        })
+    });
+    group.bench_function("suite_serial_fanout", |b| {
+        b.iter(|| black_box(run_suite_serial(&cfg, &d, &i).expect("runs").len()))
+    });
+    group.bench_function("suite_parallel_replay", |b| {
+        b.iter(|| black_box(run_suite(&cfg, &d, &i).expect("runs").len()))
+    });
+    group.finish();
+}
+
+fn bench_sink_dispatch(c: &mut Criterion) {
+    // One flat interleaved stream via the isa-level RecordingSink — the
+    // general-purpose capture API (the sim engine records split streams).
+    let wl = Benchmark::Dct.workload(1).expect("assembles");
+    let mut rec = RecordingSink::with_step_budget(wl.max_steps);
+    let mut cpu = Cpu::new(&wl.program);
+    cpu.run(wl.max_steps, &mut rec).expect("runs");
+    let events = rec.events.as_slice();
+    let mut group = c.benchmark_group("sink_dispatch");
+    group.sample_size(10);
+    group.bench_function("per_event_dyn", |b| {
+        b.iter(|| {
+            let mut counter = CountingSink::default();
+            let sink: &mut dyn TraceSink = &mut counter;
+            for &e in events {
+                match e {
+                    TraceEvent::Fetch { pc, kind } => sink.fetch(pc, kind),
+                    TraceEvent::Load {
+                        base,
+                        disp,
+                        addr,
+                        size,
+                    } => sink.load(base, disp, addr, size),
+                    TraceEvent::Store {
+                        base,
+                        disp,
+                        addr,
+                        size,
+                    } => sink.store(base, disp, addr, size),
+                }
+            }
+            black_box(counter.fetches + counter.loads + counter.stores)
+        })
+    });
+    group.bench_function("batched_dyn", |b| {
+        b.iter(|| {
+            let mut counter = CountingSink::default();
+            let sink: &mut dyn TraceSink = &mut counter;
+            sink.events(events);
+            black_box(counter.fetches + counter.loads + counter.stores)
+        })
+    });
+    // Same comparison with a sink that stores the events: the batched
+    // path collapses to one `extend_from_slice` (memcpy) instead of a
+    // push per virtual call.
+    group.bench_function("record_per_event_dyn", |b| {
+        b.iter(|| {
+            let mut rec = RecordingSink::with_step_budget(events.len() as u64);
+            let sink: &mut dyn TraceSink = &mut rec;
+            for &e in events {
+                match e {
+                    TraceEvent::Fetch { pc, kind } => sink.fetch(pc, kind),
+                    TraceEvent::Load {
+                        base,
+                        disp,
+                        addr,
+                        size,
+                    } => sink.load(base, disp, addr, size),
+                    TraceEvent::Store {
+                        base,
+                        disp,
+                        addr,
+                        size,
+                    } => sink.store(base, disp, addr, size),
+                }
+            }
+            black_box(rec.events.len())
+        })
+    });
+    group.bench_function("record_batched_dyn", |b| {
+        b.iter(|| {
+            let mut rec = RecordingSink::with_step_budget(events.len() as u64);
+            let sink: &mut dyn TraceSink = &mut rec;
+            sink.events(events);
+            black_box(rec.events.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_sink_dispatch);
+criterion_main!(benches);

@@ -1,24 +1,32 @@
 //! Associativity sweep (extension): the MAB's payoff grows with the number
 //! of ways, since a hit disables `W` tag arrays and `W-1` data ways.
-//! Sweeps 1-, 2-, 4- and 8-way 32 kB caches at constant capacity and
-//! reports the ours/original power ratio per benchmark.
+//! Sweeps 1- through 16-way 32 kB caches at constant capacity and reports
+//! the ours/original power ratio per benchmark, then repeats the highest
+//! associativities on a larger 64 kB cache with doubled workloads
+//! (`SimConfig::scale = 2`) — a deliberate stress scenario for the
+//! parallel record/replay engine.
+
+use std::time::Instant;
 
 use waymem_bench::{geometric_mean, run_suite};
 use waymem_sim::{DScheme, SimConfig};
 
-fn main() {
-    println!("D-cache power ratio ours/original vs associativity (32 kB, 32-B lines):");
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8}",
-        "benchmark", "1-way", "2-way", "4-way", "8-way"
-    );
-    let mut per_assoc: Vec<Vec<f64>> = vec![Vec::new(); 4];
+/// Runs the suite for each `(ways, label)` column of one table.
+fn sweep(title: &str, capacity_bytes: u32, line_bytes: u32, ways_list: &[u32], scale: u32) {
+    println!("{title}");
+    print!("{:<12}", "benchmark");
+    for ways in ways_list {
+        print!(" {:>7}-way", ways);
+    }
+    println!();
+    let mut per_assoc: Vec<Vec<f64>> = vec![Vec::new(); ways_list.len()];
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
-    for (col, ways) in [1u32, 2, 4, 8].into_iter().enumerate() {
-        let sets = 32 * 1024 / (ways * 32);
-        let geometry = waymem_cache::Geometry::new(sets, ways, 32).expect("valid");
+    for (col, &ways) in ways_list.iter().enumerate() {
+        let sets = capacity_bytes / (ways * line_bytes);
+        let geometry = waymem_cache::Geometry::new(sets, ways, line_bytes).expect("valid");
         let cfg = SimConfig {
             geometry,
+            scale,
             ..SimConfig::default()
         };
         let schemes = [DScheme::Original, DScheme::paper_way_memo()];
@@ -35,15 +43,35 @@ fn main() {
     for (name, ratios) in &rows {
         print!("{name:<12}");
         for r in ratios {
-            print!(" {r:>8.3}");
+            print!(" {r:>11.3}");
         }
         println!();
     }
     print!("{:<12}", "geo-mean");
     for col in &per_assoc {
-        print!(" {:>8.3}", geometric_mean(col));
+        print!(" {:>11.3}", geometric_mean(col));
     }
     println!();
+}
+
+fn main() {
+    sweep(
+        "D-cache power ratio ours/original vs associativity (32 kB, 32-B lines):",
+        32 * 1024,
+        32,
+        &[1, 2, 4, 8, 16],
+        1,
+    );
+    println!();
+    let stress = Instant::now();
+    sweep(
+        "stress: 64 kB cache, scale-2 workloads (parallel replay under load):",
+        64 * 1024,
+        32,
+        &[8, 16],
+        2,
+    );
+    println!("stress sweep wall-clock: {:.1} ms", stress.elapsed().as_secs_f64() * 1e3);
     println!("\nexpected: monotone improvement with associativity — higher-way caches");
     println!("waste more parallel reads, so memoizing the way saves more. Even the");
     println!("direct-mapped column saves tag energy (a hit needs no tag check at all).");

@@ -3,15 +3,38 @@
 //! * D-cache power reduced by ~50 % (vs conventional, best case),
 //! * total cache power reduced ~30 % on average / 40 % max,
 //! * no performance penalty (zero extra cycles for the MAB schemes).
+//!
+//! It also times the 7-benchmark suite under both engines — the legacy
+//! serial per-event fanout and the record-once/replay-in-parallel
+//! pipeline — and writes the wall-clocks to `BENCH_headline.json` so the
+//! repository tracks its own performance trajectory.
 
-use waymem_bench::{geometric_mean, run_suite};
+use std::time::Instant;
+
+use waymem_bench::json::Json;
+use waymem_bench::{geometric_mean, run_suite, run_suite_serial};
 use waymem_sim::{DScheme, IScheme, SimConfig};
 
 fn main() {
     let cfg = SimConfig::default();
     let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
     let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
+
+    let serial_start = Instant::now();
+    let serial = run_suite_serial(&cfg, &dschemes, &ischemes).expect("serial suite runs");
+    let serial_s = serial_start.elapsed().as_secs_f64();
+
+    let parallel_start = Instant::now();
     let results = run_suite(&cfg, &dschemes, &ischemes).expect("suite runs");
+    let parallel_s = parallel_start.elapsed().as_secs_f64();
+
+    // The two engines must agree exactly (tests pin this; cheap re-check).
+    for (a, b) in serial.iter().zip(&results) {
+        assert_eq!(a.cycles, b.cycles, "{}: engines disagree", a.benchmark);
+        for (x, y) in a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache)) {
+            assert_eq!(x.stats, y.stats, "{}/{}: engines disagree", a.benchmark, x.name);
+        }
+    }
 
     println!("Headline claims (abstract): ours vs conventional caches");
     println!(
@@ -38,14 +61,40 @@ fn main() {
             r.dcache[1].extra_cycles
         );
     }
+    let d_avg = (1.0 - geometric_mean(&d_ratios)) * 100.0;
+    let i_avg = (1.0 - geometric_mean(&i_ratios)) * 100.0;
+    let t_avg = (1.0 - geometric_mean(&t_ratios)) * 100.0;
     println!(
-        "averages: D {:.1}% | I {:.1}% | total {:.1}%   (paper: D up to 50%, I up to 40%, total 30% avg)",
-        (1.0 - geometric_mean(&d_ratios)) * 100.0,
-        (1.0 - geometric_mean(&i_ratios)) * 100.0,
-        (1.0 - geometric_mean(&t_ratios)) * 100.0,
+        "averages: D {d_avg:.1}% | I {i_avg:.1}% | total {t_avg:.1}%   (paper: D up to 50%, I up to 40%, total 30% avg)"
     );
     let max_saving = t_ratios
         .iter()
         .fold(f64::INFINITY, |acc, &r| acc.min(r));
     println!("maximum total saving: {:.1}%", (1.0 - max_saving) * 100.0);
+
+    println!(
+        "\nsuite wall-clock: serial fanout {:.1} ms, record/replay {:.1} ms ({:.2}x)",
+        serial_s * 1e3,
+        parallel_s * 1e3,
+        serial_s / parallel_s
+    );
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = Json::object(vec![
+        ("schema", Json::from("waymem/headline/v1")),
+        ("host_threads", Json::from(host_threads as u64)),
+        ("benchmarks", Json::from(results.len() as u64)),
+        ("dschemes", Json::from(dschemes.len() as u64)),
+        ("ischemes", Json::from(ischemes.len() as u64)),
+        ("serial_fanout_seconds", Json::from(serial_s)),
+        ("record_replay_seconds", Json::from(parallel_s)),
+        ("speedup", Json::from(serial_s / parallel_s)),
+        ("d_saving_avg_pct", Json::from(d_avg)),
+        ("i_saving_avg_pct", Json::from(i_avg)),
+        ("total_saving_avg_pct", Json::from(t_avg)),
+        ("total_saving_max_pct", Json::from((1.0 - max_saving) * 100.0)),
+    ]);
+    std::fs::write("BENCH_headline.json", format!("{report}\n"))
+        .expect("write BENCH_headline.json");
+    eprintln!("wrote BENCH_headline.json");
 }

@@ -16,16 +16,23 @@
 //! | `ablation` | way-predict / two-phase / line-buffer hybrid sweep |
 //! | `related_work` | Ma et al. link memoization \[11\] vs the MAB    |
 //! | `consistency` | §3.3 LRU-consistency audit (unsound-hit counts)    |
-//! | `assoc_sweep` | MAB payoff vs cache associativity                  |
-//! | `export`   | full results as CSV (per benchmark × scheme × cache)   |
+//! | `assoc_sweep` | MAB payoff vs associativity (1–16 way) + scaled stress |
+//! | `export`   | full results as CSV + `BENCH_results.json`             |
 //!
 //! Run any of them with `cargo run --release -p waymem-bench --bin <name>`.
-//! The library part of this crate holds the shared sweep drivers so the
-//! binaries stay tiny and the integration tests can assert on the same
-//! structured data the binaries print.
+//! The library part of this crate holds the shared sweep drivers — the
+//! parallel [`run_suite`] and the legacy [`run_suite_serial`] it is
+//! benchmarked against (see `benches/replay.rs`) — plus the tiny
+//! [`json`] writer behind the `BENCH_*.json` exports, so the binaries
+//! stay tiny and the integration tests can assert on the same structured
+//! data the binaries print.
 
-use waymem_sim::{run_benchmark, DScheme, IScheme, RunError, SimConfig, SimResult};
+use waymem_sim::{
+    run_benchmark, run_benchmark_fanout, DScheme, IScheme, RunError, SimConfig, SimResult,
+};
 use waymem_workloads::Benchmark;
+
+pub mod json;
 
 /// The D-cache schemes of Figures 4–5: original, set buffer \[14\], ours.
 #[must_use]
@@ -61,20 +68,78 @@ pub fn fig6_ischemes() -> Vec<IScheme> {
     ]
 }
 
-/// Runs all seven benchmarks under the given schemes.
+/// Runs all seven benchmarks under the given schemes, fanning the
+/// benchmarks out across [`std::thread::scope`] workers; every worker in
+/// turn records its benchmark's trace once and replays it through the
+/// schemes in parallel ([`waymem_sim::run_benchmark`]).
+///
+/// Like the inner replay fan-out, the suite level is bounded: at most
+/// [`std::thread::available_parallelism`] benchmark workers run, each
+/// taking a contiguous chunk of [`Benchmark::ALL`]. (Both levels cap at
+/// the core count independently, so a 7-benchmark × N-scheme suite
+/// spawns at most `cores + cores·cores` short-lived compute threads and
+/// far fewer in practice; small hosts are not drowned in one thread per
+/// benchmark × scheme.)
+///
+/// Workers are joined in [`Benchmark::ALL`] order, so the result order
+/// and the error reported are the same as a serial loop's.
 ///
 /// # Errors
 ///
-/// Propagates the first [`RunError`]. The kernels are tested to assemble
-/// and halt, so an error here indicates a build problem, not bad input.
+/// Propagates the first [`RunError`] in benchmark order. The kernels are
+/// tested to assemble and halt, so an error here indicates a build
+/// problem, not bad input.
 pub fn run_suite(
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+) -> Result<Vec<SimResult>, RunError> {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On a single-core host the workers would only interleave; run the
+    // benchmarks inline instead (results are identical either way).
+    if workers <= 1 {
+        return Benchmark::ALL
+            .iter()
+            .map(|&b| run_benchmark(b, cfg, dschemes, ischemes))
+            .collect();
+    }
+    let chunk = Benchmark::ALL.len().div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = Benchmark::ALL
+            .chunks(chunk)
+            .map(|group| {
+                scope.spawn(move || {
+                    group
+                        .iter()
+                        .map(|&b| run_benchmark(b, cfg, dschemes, ischemes))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("suite worker panicked"))
+            .collect()
+    })
+}
+
+/// The pre-record/replay suite driver: benchmarks run one after another,
+/// each feeding every front-end per event through the serial fanout sink.
+/// Kept so `headline` and the criterion benches can report the engine's
+/// before/after wall-clock on identical work; results are bit-identical
+/// to [`run_suite`]'s.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`], like [`run_suite`].
+pub fn run_suite_serial(
     cfg: &SimConfig,
     dschemes: &[DScheme],
     ischemes: &[IScheme],
 ) -> Result<Vec<SimResult>, RunError> {
     Benchmark::ALL
         .iter()
-        .map(|&b| run_benchmark(b, cfg, dschemes, ischemes))
+        .map(|&b| run_benchmark_fanout(b, cfg, dschemes, ischemes))
         .collect()
 }
 

@@ -81,13 +81,41 @@ pub trait TraceSink {
     fn store(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
         let _ = (base, disp, addr, size);
     }
+
+    /// Consumes a whole batch of recorded events at once.
+    ///
+    /// The default implementation dispatches each event to the per-event
+    /// methods, so every existing sink keeps working; sinks on a hot path
+    /// override this with a tight monomorphic loop, turning one virtual
+    /// call per *event* into one per *batch*.
+    fn events(&mut self, batch: &[TraceEvent]) {
+        for &e in batch {
+            match e {
+                TraceEvent::Fetch { pc, kind } => self.fetch(pc, kind),
+                TraceEvent::Load {
+                    base,
+                    disp,
+                    addr,
+                    size,
+                } => self.load(base, disp, addr, size),
+                TraceEvent::Store {
+                    base,
+                    disp,
+                    addr,
+                    size,
+                } => self.store(base, disp, addr, size),
+            }
+        }
+    }
 }
 
 /// A sink that discards every event (pure functional runs).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;
 
-impl TraceSink for NullSink {}
+impl TraceSink for NullSink {
+    fn events(&mut self, _batch: &[TraceEvent]) {}
+}
 
 /// A sink that counts events without storing them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -112,13 +140,61 @@ impl TraceSink for CountingSink {
     fn store(&mut self, _base: u32, _disp: i32, _addr: u32, _size: u8) {
         self.stores += 1;
     }
+
+    fn events(&mut self, batch: &[TraceEvent]) {
+        for e in batch {
+            match e {
+                TraceEvent::Fetch { .. } => self.fetches += 1,
+                TraceEvent::Load { .. } => self.loads += 1,
+                TraceEvent::Store { .. } => self.stores += 1,
+            }
+        }
+    }
 }
 
-/// A sink that records the full event stream (tests and trace dumps).
+/// A sink that records the full event stream — the front half of the
+/// record-once / replay-many engine in `waymem-sim` (also handy for tests
+/// and trace dumps).
 #[derive(Debug, Clone, Default)]
 pub struct RecordingSink {
     /// The recorded events, in program order.
     pub events: Vec<TraceEvent>,
+}
+
+impl RecordingSink {
+    /// Upper bound on the capacity pre-allocated from a step budget, in
+    /// events. Beyond this the `Vec` grows geometrically as usual; the
+    /// cap only bounds the blind up-front allocation (~24 B/event, so
+    /// ~12 MB at the cap). Step *budgets* are routinely 100× more
+    /// generous than actual runs, so sizing must never trust them fully.
+    pub const MAX_PREALLOC_EVENTS: usize = 1 << 19;
+
+    /// Clamps an event-count estimate to a sane pre-allocation:
+    /// [`MAX_PREALLOC_EVENTS`](Self::MAX_PREALLOC_EVENTS) at most, on
+    /// overflow too. Shared by [`with_step_budget`](Self::with_step_budget)
+    /// and the sim engine's split-stream recorder so the clamp logic
+    /// cannot drift between them.
+    #[must_use]
+    pub fn prealloc_cap(estimated_events: u64) -> usize {
+        usize::try_from(estimated_events)
+            .unwrap_or(Self::MAX_PREALLOC_EVENTS)
+            .min(Self::MAX_PREALLOC_EVENTS)
+    }
+
+    /// A sink sized for a run of at most `max_steps` instructions.
+    ///
+    /// Every retired instruction emits one fetch plus at most one
+    /// load/store, so `2 * max_steps` bounds the stream; the typical mix
+    /// is nearer 1.3 events per instruction. The pre-allocation uses the
+    /// hard bound but clamps it via [`prealloc_cap`](Self::prealloc_cap),
+    /// so a generous step budget (workloads commonly halt far below it)
+    /// does not translate into a huge idle allocation.
+    #[must_use]
+    pub fn with_step_budget(max_steps: u64) -> Self {
+        Self {
+            events: Vec::with_capacity(Self::prealloc_cap(max_steps.saturating_mul(2))),
+        }
+    }
 }
 
 impl TraceSink for RecordingSink {
@@ -142,6 +218,10 @@ impl TraceSink for RecordingSink {
             addr,
             size,
         });
+    }
+
+    fn events(&mut self, batch: &[TraceEvent]) {
+        self.events.extend_from_slice(batch);
     }
 }
 
@@ -181,5 +261,54 @@ mod tests {
         s.fetch(0, FetchKind::Sequential);
         s.load(0, 0, 0, 4);
         s.store(0, 0, 0, 4);
+    }
+
+    /// Synthetic stream covering all three event kinds.
+    fn sample_events() -> Vec<TraceEvent> {
+        let mut rec = RecordingSink::default();
+        rec.fetch(0x100, FetchKind::Sequential);
+        rec.load(0x2000, 8, 0x2008, 4);
+        rec.fetch(0x104, FetchKind::TakenBranch { base: 0x104, disp: -4 });
+        rec.store(0x2000, 12, 0x200c, 2);
+        rec.fetch(0x100, FetchKind::LinkReturn { target: 0x100 });
+        rec.events
+    }
+
+    #[test]
+    fn batched_dispatch_matches_per_event_dispatch() {
+        let events = sample_events();
+        let mut per_event = CountingSink::default();
+        for &e in &events {
+            match e {
+                TraceEvent::Fetch { pc, kind } => per_event.fetch(pc, kind),
+                TraceEvent::Load { base, disp, addr, size } => {
+                    per_event.load(base, disp, addr, size);
+                }
+                TraceEvent::Store { base, disp, addr, size } => {
+                    per_event.store(base, disp, addr, size);
+                }
+            }
+        }
+        let mut batched = CountingSink::default();
+        batched.events(&events);
+        assert_eq!(batched, per_event);
+        assert_eq!((batched.fetches, batched.loads, batched.stores), (3, 1, 1));
+    }
+
+    #[test]
+    fn recording_sink_round_trips_through_batches() {
+        let events = sample_events();
+        let mut replayed = RecordingSink::default();
+        replayed.events(&events);
+        assert_eq!(replayed.events, events);
+    }
+
+    #[test]
+    fn step_budget_preallocation_is_capped() {
+        let small = RecordingSink::with_step_budget(100);
+        assert!(small.events.capacity() >= 200);
+        let huge = RecordingSink::with_step_budget(u64::MAX);
+        assert!(huge.events.capacity() <= RecordingSink::MAX_PREALLOC_EVENTS);
+        assert!(huge.events.is_empty());
     }
 }

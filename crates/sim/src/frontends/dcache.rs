@@ -6,6 +6,7 @@ use waymem_cache::{
 };
 use waymem_core::{Mab, MabConfig, MabLookup, MabStats};
 use waymem_hwmodel::{EnergyCounts, MabShape};
+use waymem_isa::{FetchKind, TraceEvent, TraceSink};
 
 /// A D-cache lookup scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -399,6 +400,25 @@ impl DFront {
         }
     }
 
+    /// Replays a recorded trace slice into the model: loads and stores are
+    /// consumed in program order, fetch events are skipped. The loop is
+    /// monomorphic for this front-end, so a replay pays no per-event
+    /// virtual dispatch — this is the hot path of the record-once /
+    /// replay-in-parallel engine in [`crate::run_benchmark`].
+    pub fn replay(&mut self, events: &[TraceEvent]) {
+        for &e in events {
+            match e {
+                TraceEvent::Load {
+                    base, disp, addr, ..
+                } => self.access(false, base, disp, addr),
+                TraceEvent::Store {
+                    base, disp, addr, ..
+                } => self.access(true, base, disp, addr),
+                TraceEvent::Fetch { .. } => {}
+            }
+        }
+    }
+
     /// Accounting so far. For MAB schemes the `mab_*` counters reflect the
     /// MAB's own statistics.
     #[must_use]
@@ -467,6 +487,26 @@ impl DFront {
     #[must_use]
     pub fn cache(&self) -> &SetAssocCache {
         &self.cache
+    }
+}
+
+/// A D-front is itself a [`TraceSink`]: loads/stores feed the model,
+/// fetches are ignored, and the batched [`TraceSink::events`] entry point
+/// dispatches to the monomorphic [`DFront::replay`] loop — the path the
+/// record/replay engine drives.
+impl TraceSink for DFront {
+    fn fetch(&mut self, _pc: u32, _kind: FetchKind) {}
+
+    fn load(&mut self, base: u32, disp: i32, addr: u32, _size: u8) {
+        self.access(false, base, disp, addr);
+    }
+
+    fn store(&mut self, base: u32, disp: i32, addr: u32, _size: u8) {
+        self.access(true, base, disp, addr);
+    }
+
+    fn events(&mut self, batch: &[TraceEvent]) {
+        self.replay(batch);
     }
 }
 

@@ -12,7 +12,7 @@
 use waymem_cache::{AccessKind, AccessStats, Geometry, MainMemory, SetAssocCache};
 use waymem_core::{Mab, MabConfig, MabLookup, MabStats};
 use waymem_hwmodel::{EnergyCounts, MabShape};
-use waymem_isa::FetchKind;
+use waymem_isa::{FetchKind, TraceEvent, TraceSink};
 
 use super::links::{Btb, LinkTable};
 
@@ -328,6 +328,18 @@ impl IFront {
         }
     }
 
+    /// Replays a recorded trace slice into the model: fetch events are
+    /// consumed in program order, loads and stores are skipped. Like
+    /// [`DFront::replay`](crate::DFront::replay), the loop is monomorphic
+    /// for this front-end — the hot path of the record/replay engine.
+    pub fn replay(&mut self, events: &[TraceEvent]) {
+        for &e in events {
+            if let TraceEvent::Fetch { pc, kind } = e {
+                self.fetch(pc, kind);
+            }
+        }
+    }
+
     /// Accounting so far; MAB counters reflect the MAB's own statistics.
     #[must_use]
     pub fn stats(&self) -> AccessStats {
@@ -409,6 +421,20 @@ impl IFront {
     #[must_use]
     pub fn cache(&self) -> &SetAssocCache {
         &self.cache
+    }
+}
+
+/// An I-front is itself a [`TraceSink`]: fetches feed the model, data
+/// events are ignored, and the batched [`TraceSink::events`] entry point
+/// dispatches to the monomorphic [`IFront::replay`] loop — the path the
+/// record/replay engine drives.
+impl TraceSink for IFront {
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        IFront::fetch(self, pc, kind);
+    }
+
+    fn events(&mut self, batch: &[TraceEvent]) {
+        self.replay(batch);
     }
 }
 

@@ -8,3 +8,14 @@ mod links;
 
 pub use dcache::{DFront, DScheme};
 pub use icache::{IFront, IScheme};
+
+// The record/replay engine hands each front-end to its own worker thread,
+// so `DFront` and `IFront` must stay `Send` (each owns its cache, memory
+// and buffer state outright — no shared interior mutability). This
+// assertion turns an accidental `Rc`/`RefCell` regression into a compile
+// error at the definition site instead of a confusing one in `run.rs`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<DFront>();
+    assert_send::<IFront>();
+};

@@ -21,6 +21,23 @@
 //! (Inoue et al., \[12\]) and `WayMemo` (intra-line skip + MAB for
 //! inter-line and non-sequential flow, per Figure 2).
 //!
+//! ## Execution model and thread-safety contract
+//!
+//! [`run_benchmark`] records the CPU's event stream **once** into a
+//! [`RecordedTrace`] — two flat `Vec<TraceEvent>` streams, fetches split
+//! from loads/stores at capture time — and then replays the recorded
+//! slices through every requested front-end **concurrently** on
+//! [`std::thread::scope`] workers, at most one per hardware thread
+//! ([`run::replay_trace`]). Each worker owns its front-ends outright, so
+//! `DFront` and `IFront` are (and
+//! must remain) [`Send`]: they hold only owned cache, memory and buffer
+//! state, with no shared interior mutability — a compile-time assertion in
+//! `frontends/mod.rs` enforces this. The trace itself is shared immutably
+//! (`&[TraceEvent]`), front-ends never observe each other, and workers are
+//! joined in scheme order, so results are bit-identical to a serial run —
+//! `tests/determinism.rs` and [`run_benchmark_fanout`] (the retained
+//! legacy serial driver) pin that equivalence.
+//!
 //! ## Accounting rules (uniform across schemes)
 //!
 //! * conventional load lookup: `W` tag reads + `W` way reads (parallel);
@@ -55,8 +72,11 @@
 
 pub mod frontends;
 mod report;
-mod run;
+pub mod run;
 
 pub use frontends::{DFront, DScheme, IFront, IScheme};
 pub use report::{format_power_table, format_ratio_table, FigureRow};
-pub use run::{run_benchmark, RunError, SchemeResult, SimConfig, SimResult};
+pub use run::{
+    record_trace, replay_trace, run_benchmark, run_benchmark_fanout, RecordedTrace, RunError,
+    SchemeResult, SimConfig, SimResult,
+};

@@ -1,5 +1,19 @@
-//! The experiment driver: runs one benchmark once, feeding every requested
-//! scheme's front-end from the same trace, then composes power via Eq. (1).
+//! The experiment driver: a record-once / replay-in-parallel pipeline.
+//!
+//! [`run_benchmark`] executes the CPU interpreter exactly once, capturing
+//! the full fetch/load/store stream into a [`RecordedTrace`] — two flat
+//! `Vec<TraceEvent>` streams split at capture time, fetches apart from
+//! loads/stores — then replays that recorded trace through every
+//! requested scheme's front-end concurrently on [`std::thread::scope`]
+//! workers. Each front-end consumes its stream as a slice through the
+//! batched [`TraceSink::events`] entry point, which dispatches to a
+//! monomorphic loop ([`DFront::replay`] / [`IFront::replay`]), so no
+//! per-event virtual dispatch survives on the hot path; power is
+//! composed via Eq. (1) once every worker joins.
+//! Because every front-end sees the identical recorded stream, the results
+//! are bit-identical to the legacy serial fanout ([`run_benchmark_fanout`]),
+//! which is kept as the reference implementation for benches and
+//! cross-validation tests.
 
 use std::error::Error;
 use std::fmt;
@@ -8,7 +22,7 @@ use waymem_cache::{AccessStats, Geometry};
 use waymem_hwmodel::{
     cache_energies, mab_power_mw, CacheShape, EnergyCounts, PowerBreakdown, Technology,
 };
-use waymem_isa::{AsmError, Cpu, CpuError, FetchKind, TraceSink};
+use waymem_isa::{AsmError, Cpu, CpuError, FetchKind, RecordingSink, TraceEvent, TraceSink};
 use waymem_workloads::Benchmark;
 
 use crate::{DFront, DScheme, IFront, IScheme};
@@ -124,6 +138,9 @@ impl SimResult {
     }
 }
 
+/// Legacy serial fanout: forwards each CPU event to every front-end as it
+/// happens. Kept (behind [`run_benchmark_fanout`]) as the reference the
+/// record/replay engine is benchmarked and cross-validated against.
 struct FanoutSink {
     dfronts: Vec<DFront>,
     ifronts: Vec<IFront>,
@@ -149,15 +166,307 @@ impl TraceSink for FanoutSink {
     }
 }
 
+/// A benchmark's recorded trace, split into the two streams the two
+/// front-end families consume, plus the retired instruction count the
+/// power models need.
+///
+/// The split is the replay engine's key data-layout decision: I-fronts
+/// only ever consume [`TraceEvent::Fetch`] and D-fronts only
+/// [`TraceEvent::Load`]/[`TraceEvent::Store`], so storing one interleaved
+/// stream would make every front walk (and branch over) the other
+/// family's events — for a typical kernel ~90 % of the stream is fetches,
+/// so a D-front would skip ten events for every one it consumes. Each
+/// stream preserves program order, which is all a front-end can observe.
+#[derive(Debug, Clone, Default)]
+pub struct RecordedTrace {
+    /// Every instruction fetch, in program order (the I-side stream).
+    pub fetch_events: Vec<TraceEvent>,
+    /// Every load/store, in program order (the D-side stream).
+    pub data_events: Vec<TraceEvent>,
+    /// Instructions retired (= cycles at CPI 1).
+    pub cycles: u64,
+}
+
+impl RecordedTrace {
+    /// Total recorded events across both streams.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fetch_events.len() + self.data_events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fetch_events.is_empty() && self.data_events.is_empty()
+    }
+}
+
+/// The recording sink behind [`record_trace`]: like
+/// [`waymem_isa::RecordingSink`] but splitting the stream at capture time
+/// so replay never re-partitions it.
+#[derive(Debug, Default)]
+struct SplitRecordingSink {
+    fetches: Vec<TraceEvent>,
+    data: Vec<TraceEvent>,
+}
+
+impl TraceSink for SplitRecordingSink {
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        self.fetches.push(TraceEvent::Fetch { pc, kind });
+    }
+
+    fn load(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        self.data.push(TraceEvent::Load {
+            base,
+            disp,
+            addr,
+            size,
+        });
+    }
+
+    fn store(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        self.data.push(TraceEvent::Store {
+            base,
+            disp,
+            addr,
+            size,
+        });
+    }
+}
+
+/// Executes `bench` once and records its full event stream.
+///
+/// This is the "record" half of the engine; [`replay_trace`] is the other.
+/// Splitting them lets callers amortize one CPU run over many replays
+/// (geometry sweeps, scheme sweeps) instead of re-interpreting the kernel.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the kernel fails to assemble, faults, or does
+/// not halt within its step budget.
+pub fn record_trace(bench: Benchmark, cfg: &SimConfig) -> Result<RecordedTrace, RunError> {
+    let wl = bench.workload(cfg.scale)?;
+    // Pre-size each stream with `RecordingSink`'s shared clamp. The
+    // estimates are one fetch per budgeted instruction (+1 for `halt`)
+    // and one load/store per four instructions (typical kernels issue
+    // one every 4–8); both are *estimates*, not bounds — the Vecs grow
+    // geometrically past them. The default 30 M-step budgets exceed the
+    // clamp anyway, so in practice both streams start at the cap and
+    // the estimates only matter for small custom budgets.
+    let mut sink = SplitRecordingSink {
+        fetches: Vec::with_capacity(RecordingSink::prealloc_cap(wl.max_steps.saturating_add(1))),
+        data: Vec::with_capacity(RecordingSink::prealloc_cap(wl.max_steps / 4)),
+    };
+    let mut cpu = Cpu::new(&wl.program);
+    let outcome = cpu.run(wl.max_steps, &mut sink)?;
+    if !outcome.halted() {
+        return Err(RunError::StepLimit {
+            max_steps: wl.max_steps,
+        });
+    }
+    Ok(RecordedTrace {
+        fetch_events: sink.fetches,
+        data_events: sink.data,
+        cycles: cpu.instret(),
+    })
+}
+
+/// The per-run Eq. (1) ingredients shared by every scheme: the cache's
+/// per-access energies depend only on geometry and technology, so they
+/// are computed once per run, not once per scheme.
+fn run_energies(cfg: &SimConfig) -> waymem_hwmodel::CacheEnergies {
+    let shape = CacheShape {
+        sets: cfg.geometry.sets(),
+        ways: cfg.geometry.ways(),
+        line_bytes: cfg.geometry.line_bytes(),
+        tag_bits: cfg.geometry.tag_bits(),
+    };
+    cache_energies(shape, cfg.technology)
+}
+
+/// Composes the Eq. (1) result for one joined D-front.
+fn dscheme_result(
+    f: &DFront,
+    cycles: u64,
+    cfg: &SimConfig,
+    energies: waymem_hwmodel::CacheEnergies,
+) -> SchemeResult {
+    let energy = f.energy_counts(cycles);
+    let mab = f.mab_shape().map(|s| mab_power_mw(s, cfg.technology));
+    SchemeResult {
+        name: f.scheme().name(),
+        stats: f.stats(),
+        energy,
+        power: PowerBreakdown::from_counts(energy, energies, mab, cfg.technology),
+        extra_cycles: f.extra_cycles(),
+    }
+}
+
+/// Composes the Eq. (1) result for one joined I-front.
+fn ischeme_result(
+    f: &IFront,
+    cycles: u64,
+    cfg: &SimConfig,
+    energies: waymem_hwmodel::CacheEnergies,
+) -> SchemeResult {
+    let energy = f.energy_counts(cycles);
+    let mab = f.mab_shape().map(|s| mab_power_mw(s, cfg.technology));
+    SchemeResult {
+        name: f.scheme().name(),
+        stats: f.stats(),
+        energy,
+        power: PowerBreakdown::from_counts(energy, energies, mab, cfg.technology),
+        extra_cycles: 0,
+    }
+}
+
+/// Whether fanning replays out across threads can pay for itself: more
+/// than one front-end to run, and more than one hardware thread to run
+/// them on. On a single-core host the scoped workers would only
+/// interleave, so the engine replays inline instead — the numbers are
+/// identical either way (each front-end consumes the same slice in
+/// isolation); only wall-clock differs.
+fn replay_in_parallel(front_count: usize) -> bool {
+    front_count > 1
+        && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
+}
+
+/// Replays an already-recorded trace through every requested scheme's
+/// front-end on scoped worker threads (inline when the host is
+/// single-core — see [`replay_in_parallel`]).
+///
+/// The fan-out is bounded: schemes are chunked across at most
+/// [`std::thread::available_parallelism`] workers, each replaying its
+/// chunk sequentially, so a long scheme list never spawns more compute
+/// threads than the host has cores. Chunks are joined in scheme order,
+/// so the result vectors keep the order the schemes were given and the
+/// outcome is deterministic: every front-end consumes the identical
+/// event slice independently, so the numbers are bit-identical to a
+/// serial replay (pinned by `tests/determinism.rs`).
+#[must_use]
+pub fn replay_trace(
+    bench: Benchmark,
+    trace: &RecordedTrace,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+) -> SimResult {
+    let data_events = trace.data_events.as_slice();
+    let fetch_events = trace.fetch_events.as_slice();
+    let (dfronts, ifronts) = if replay_in_parallel(dschemes.len() + ischemes.len()) {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let chunk = (dschemes.len() + ischemes.len()).div_ceil(workers).max(1);
+        std::thread::scope(|scope| {
+            let dhandles: Vec<_> = dschemes
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .iter()
+                            .map(|&s| {
+                                let mut f = s.build(cfg.geometry);
+                                f.events(data_events);
+                                f
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let ihandles: Vec<_> = ischemes
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .iter()
+                            .map(|&s| {
+                                let mut f = s.build(cfg.geometry);
+                                f.events(fetch_events);
+                                f
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let dfronts: Vec<DFront> = dhandles
+                .into_iter()
+                .flat_map(|h| h.join().expect("D-front replay worker panicked"))
+                .collect();
+            let ifronts: Vec<IFront> = ihandles
+                .into_iter()
+                .flat_map(|h| h.join().expect("I-front replay worker panicked"))
+                .collect();
+            (dfronts, ifronts)
+        })
+    } else {
+        let build_and_replay_d = |&s: &DScheme| {
+            let mut f = s.build(cfg.geometry);
+            f.events(data_events);
+            f
+        };
+        let build_and_replay_i = |&s: &IScheme| {
+            let mut f = s.build(cfg.geometry);
+            f.events(fetch_events);
+            f
+        };
+        (
+            dschemes.iter().map(build_and_replay_d).collect(),
+            ischemes.iter().map(build_and_replay_i).collect(),
+        )
+    };
+    let energies = run_energies(cfg);
+    SimResult {
+        benchmark: bench,
+        cycles: trace.cycles,
+        dcache: dfronts
+            .iter()
+            .map(|f| dscheme_result(f, trace.cycles, cfg, energies))
+            .collect(),
+        icache: ifronts
+            .iter()
+            .map(|f| ischeme_result(f, trace.cycles, cfg, energies))
+            .collect(),
+    }
+}
+
 /// Runs `bench` once and returns per-scheme statistics and Eq. (1) power
-/// for every requested D- and I-cache scheme. All schemes observe the
-/// identical trace, so comparisons are exact.
+/// for every requested D- and I-cache scheme: the CPU is interpreted a
+/// single time into a recorded trace ([`record_trace`]), which is then
+/// replayed across all front-ends in parallel ([`replay_trace`]). All
+/// schemes observe the identical trace, so comparisons are exact.
+///
+/// When parallel replay cannot pay for the recording — a single-core
+/// host, or at most one front-end requested — the driver feeds the
+/// front-ends inline through the serial fanout sink instead, skipping
+/// the trace materialization entirely. Both paths produce bit-identical
+/// results (pinned by `tests/determinism.rs`); only wall-clock differs.
 ///
 /// # Errors
 ///
 /// Returns [`RunError`] if the kernel fails to assemble, faults, or does
 /// not halt.
 pub fn run_benchmark(
+    bench: Benchmark,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+) -> Result<SimResult, RunError> {
+    if !replay_in_parallel(dschemes.len() + ischemes.len()) {
+        return run_benchmark_fanout(bench, cfg, dschemes, ischemes);
+    }
+    let trace = record_trace(bench, cfg)?;
+    Ok(replay_trace(bench, &trace, cfg, dschemes, ischemes))
+}
+
+/// The pre-record/replay driver: one CPU run with every front-end fed
+/// per event through the serial [`FanoutSink`]. Exists so benches can
+/// measure the engine against its predecessor and so tests can pin the
+/// two paths bit-identical; new code should call [`run_benchmark`].
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the kernel fails to assemble, faults, or does
+/// not halt.
+pub fn run_benchmark_fanout(
     bench: Benchmark,
     cfg: &SimConfig,
     dschemes: &[DScheme],
@@ -176,51 +485,20 @@ pub fn run_benchmark(
         });
     }
     let cycles = cpu.instret();
-
-    let shape = CacheShape {
-        sets: cfg.geometry.sets(),
-        ways: cfg.geometry.ways(),
-        line_bytes: cfg.geometry.line_bytes(),
-        tag_bits: cfg.geometry.tag_bits(),
-    };
-    let energies = cache_energies(shape, cfg.technology);
-
-    let dcache = sink
-        .dfronts
-        .iter()
-        .map(|f| {
-            let energy = f.energy_counts(cycles);
-            let mab = f.mab_shape().map(|s| mab_power_mw(s, cfg.technology));
-            SchemeResult {
-                name: f.scheme().name(),
-                stats: f.stats(),
-                energy,
-                power: PowerBreakdown::from_counts(energy, energies, mab, cfg.technology),
-                extra_cycles: f.extra_cycles(),
-            }
-        })
-        .collect();
-    let icache = sink
-        .ifronts
-        .iter()
-        .map(|f| {
-            let energy = f.energy_counts(cycles);
-            let mab = f.mab_shape().map(|s| mab_power_mw(s, cfg.technology));
-            SchemeResult {
-                name: f.scheme().name(),
-                stats: f.stats(),
-                energy,
-                power: PowerBreakdown::from_counts(energy, energies, mab, cfg.technology),
-                extra_cycles: 0,
-            }
-        })
-        .collect();
-
+    let energies = run_energies(cfg);
     Ok(SimResult {
         benchmark: bench,
         cycles,
-        dcache,
-        icache,
+        dcache: sink
+            .dfronts
+            .iter()
+            .map(|f| dscheme_result(f, cycles, cfg, energies))
+            .collect(),
+        icache: sink
+            .ifronts
+            .iter()
+            .map(|f| ischeme_result(f, cycles, cfg, energies))
+            .collect(),
     })
 }
 
@@ -290,6 +568,88 @@ mod tests {
             assert!(s.stats.is_consistent(), "{}", s.name);
             assert_eq!(s.energy.cycles, r.cycles);
         }
+    }
+
+    /// Structural equality of two results down to f64 bits.
+    fn assert_results_identical(a: &SimResult, b: &SimResult) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.cycles, b.cycles);
+        let pairs = a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache));
+        for (x, y) in pairs {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.stats, y.stats, "{}: stats differ", x.name);
+            assert_eq!(x.energy, y.energy, "{}: energy differs", x.name);
+            assert_eq!(x.extra_cycles, y.extra_cycles);
+            assert_eq!(
+                x.power.total_mw().to_bits(),
+                y.power.total_mw().to_bits(),
+                "{}: power differs",
+                x.name
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_legacy_fanout() {
+        // Exercise the record/replay engine explicitly (not through
+        // `run_benchmark`, which may pick the fanout path on single-core
+        // hosts) and pin it bit-identical to the serial fanout.
+        let cfg = SimConfig::default();
+        let (d, i) = paper_schemes();
+        let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
+        let replayed = replay_trace(Benchmark::Dct, &trace, &cfg, &d, &i);
+        let fanout = run_benchmark_fanout(Benchmark::Dct, &cfg, &d, &i).expect("fanout runs");
+        assert_results_identical(&replayed, &fanout);
+    }
+
+    #[test]
+    fn replaying_a_recorded_trace_twice_is_identical() {
+        let cfg = SimConfig::default();
+        let (d, i) = paper_schemes();
+        let trace = record_trace(Benchmark::Fft, &cfg).expect("records");
+        assert!(!trace.is_empty());
+        let first = replay_trace(Benchmark::Fft, &trace, &cfg, &d, &i);
+        let second = replay_trace(Benchmark::Fft, &trace, &cfg, &d, &i);
+        assert_results_identical(&first, &second);
+        for (x, y) in first.dcache.iter().zip(&second.dcache) {
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn recorded_trace_event_counts_match_counting_sink() {
+        // The recorded stream must be exactly what a CountingSink observes
+        // live: same number of fetches, loads and stores.
+        use waymem_isa::CountingSink;
+        let cfg = SimConfig::default();
+        let bench = Benchmark::Dct;
+        let trace = record_trace(bench, &cfg).expect("records");
+        let wl = bench.workload(cfg.scale).expect("assembles");
+        let mut counter = CountingSink::default();
+        let mut cpu = Cpu::new(&wl.program);
+        cpu.run(wl.max_steps, &mut counter).expect("runs");
+        // The fetch stream must be pure fetches and the data stream pure
+        // loads/stores, both matching what a CountingSink observes live.
+        assert!(trace
+            .fetch_events
+            .iter()
+            .all(|e| matches!(e, waymem_isa::TraceEvent::Fetch { .. })));
+        let loads = trace
+            .data_events
+            .iter()
+            .filter(|e| matches!(e, waymem_isa::TraceEvent::Load { .. }))
+            .count() as u64;
+        let stores = trace
+            .data_events
+            .iter()
+            .filter(|e| matches!(e, waymem_isa::TraceEvent::Store { .. }))
+            .count() as u64;
+        assert_eq!(trace.fetch_events.len() as u64, counter.fetches);
+        assert_eq!(loads, counter.loads);
+        assert_eq!(stores, counter.stores);
+        // One fetch per retired instruction, plus the final `halt`, which
+        // is fetched but does not retire.
+        assert_eq!(trace.fetch_events.len() as u64, trace.cycles + 1);
     }
 
     #[test]

@@ -52,3 +52,35 @@ fn run_benchmark_is_bit_identical_across_runs() {
         assert!(first.icache[0].stats.accesses > 0);
     }
 }
+
+#[test]
+fn parallel_replay_is_bit_identical_to_serial_fanout() {
+    // The record-once/replay-in-parallel engine must reproduce the legacy
+    // per-event fanout exactly: same trace, same per-front state
+    // evolution, same f64 bits out of Eq. (1). The engine is exercised
+    // explicitly (record + replay), not through `run_benchmark`, which on
+    // single-core hosts is free to pick the fanout path itself.
+    let cfg = SimConfig::default();
+    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
+    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
+    for bench in [Benchmark::Dct, Benchmark::Fft] {
+        let trace = waymem::sim::record_trace(bench, &cfg).expect("records");
+        let replayed = waymem::sim::replay_trace(bench, &trace, &cfg, &dschemes, &ischemes);
+        let fanout =
+            waymem::sim::run_benchmark_fanout(bench, &cfg, &dschemes, &ischemes).expect("fanout");
+        assert_identical(&replayed, &fanout);
+    }
+}
+
+#[test]
+fn recorded_trace_replays_identically_twice() {
+    // Replay must not mutate the trace or leak state between runs: two
+    // replays of one recorded trace yield identical AccessStats.
+    let cfg = SimConfig::default();
+    let dschemes = [DScheme::paper_way_memo()];
+    let ischemes = [IScheme::paper_way_memo()];
+    let trace = waymem::sim::record_trace(Benchmark::Dct, &cfg).expect("records");
+    let first = waymem::sim::replay_trace(Benchmark::Dct, &trace, &cfg, &dschemes, &ischemes);
+    let second = waymem::sim::replay_trace(Benchmark::Dct, &trace, &cfg, &dschemes, &ischemes);
+    assert_identical(&first, &second);
+}

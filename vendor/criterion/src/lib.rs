@@ -7,7 +7,8 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros — as a simple wall-clock
 //! harness: each benchmark is calibrated to ~100 ms of work and reports the
 //! median per-iteration time over the sampled batches. It honours
-//! `--bench` (ignored) so `cargo bench` passes its harness flags through.
+//! `--bench` (ignored) so `cargo bench` passes its harness flags through,
+//! and `--test` (run each benchmark once, untimed) like the real crate.
 //! Swapping the real criterion back in is a one-line `Cargo.toml` change.
 
 use std::time::{Duration, Instant};
@@ -33,7 +34,23 @@ impl Bencher {
     }
 }
 
+/// True when the bench binary was invoked as `cargo bench -- --test`:
+/// run every benchmark exactly once, untimed, like the real criterion's
+/// test mode. CI uses this as a cheap can't-bit-rot smoke check.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name:<40} ok (test mode, 1 iter)");
+        return;
+    }
     // Calibrate: grow the iteration count until one batch takes >= ~10 ms,
     // then collect `samples` batches and report the median.
     let mut iters = 1u64;
