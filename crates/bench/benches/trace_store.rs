@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the `waymem-trace` subsystem:
+//!
+//! * `trace_store/*` — the 7-benchmark suite driven cold (fresh store:
+//!   every benchmark interpreted) vs warm (pre-warmed store: replay
+//!   only). The gap is the interpreter cost the store amortizes across
+//!   a sweep's configurations;
+//! * `codec/*` — encode/decode/streaming-replay throughput of the
+//!   compact binary format on a real recorded DCT trace.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use waymem_bench::run_suite_with_store;
+use waymem_isa::CountingSink;
+use waymem_sim::{record_trace, DScheme, IScheme, SimConfig, TraceStore};
+use waymem_trace::{codec, Section};
+use waymem_workloads::Benchmark;
+
+fn suite_schemes() -> (Vec<DScheme>, Vec<IScheme>) {
+    (
+        vec![DScheme::Original, DScheme::paper_way_memo()],
+        vec![IScheme::Original, IScheme::paper_way_memo()],
+    )
+}
+
+fn bench_store(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let (d, i) = suite_schemes();
+    let mut group = c.benchmark_group("trace_store");
+    group.sample_size(10);
+    group.bench_function("suite_cold", |b| {
+        // A fresh store per iteration: all seven kernels interpreted.
+        b.iter(|| {
+            let store = TraceStore::new();
+            black_box(run_suite_with_store(&cfg, &d, &i, &store).expect("runs").len())
+        })
+    });
+    group.bench_function("suite_warm", |b| {
+        // One pre-warmed store: every lookup hits, replay only. A warm
+        // sweep iteration must beat the cold one — `tests/store.rs`
+        // asserts the hit accounting, this shows the wall-clock.
+        let store = TraceStore::new();
+        run_suite_with_store(&cfg, &d, &i, &store).expect("warm-up");
+        b.iter(|| black_box(run_suite_with_store(&cfg, &d, &i, &store).expect("runs").len()))
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
+    let bytes = codec::encode(&trace);
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(10);
+    group.bench_function("encode", |b| {
+        let mut out = Vec::with_capacity(bytes.len());
+        b.iter(|| {
+            out.clear();
+            black_box(codec::encode_into(&trace, &mut out))
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(codec::decode(&bytes).expect("decodes").len()))
+    });
+    group.bench_function("replay_streaming", |b| {
+        // Decode-and-dispatch without materializing the event Vecs: the
+        // path a disk-cached trace takes into a front-end.
+        b.iter(|| {
+            let dec = codec::Decoder::new(&bytes).expect("valid");
+            let mut sink = CountingSink::default();
+            dec.replay_section(Section::Fetch, &mut sink).expect("replays");
+            dec.replay_section(Section::Data, &mut sink).expect("replays");
+            black_box(sink.fetches + sink.loads + sink.stores)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store, bench_codec);
+criterion_main!(benches);

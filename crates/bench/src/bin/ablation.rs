@@ -6,11 +6,14 @@
 //! * the paper's future-work MAB + line-buffer hybrid, and
 //! * a D-MAB geometry sweep (N_t × N_s) showing why 2×8 is the sweet spot.
 
-use waymem_bench::{geometric_mean, run_suite};
-use waymem_sim::{format_ratio_table, DScheme, FigureRow, SimConfig};
+use waymem_bench::{geometric_mean, run_suite_with_store};
+use waymem_sim::{format_ratio_table, DScheme, FigureRow, SimConfig, TraceStore};
 
 fn main() {
     let cfg = SimConfig::default();
+    // One store across ablation A and the 12-point geometry sweep B:
+    // the seven kernels are interpreted once for the whole binary.
+    let store = TraceStore::new();
     let schemes = [
         DScheme::Original,
         DScheme::WayPredict,
@@ -22,7 +25,7 @@ fn main() {
             line_entries: 2,
         },
     ];
-    let results = run_suite(&cfg, &schemes, &[]).expect("suite runs");
+    let results = run_suite_with_store(&cfg, &schemes, &[], &store).expect("suite runs");
 
     println!("Ablation A: D-cache alternatives (power mW / extra cycles)");
     println!(
@@ -60,7 +63,7 @@ fn main() {
                     set_entries: ns,
                 },
             ];
-            let results = run_suite(&cfg, &schemes, &[]).expect("suite runs");
+            let results = run_suite_with_store(&cfg, &schemes, &[], &store).expect("suite runs");
             let ratios: Vec<f64> = results
                 .iter()
                 .map(|r| r.dcache[1].power.total_mw() / r.dcache[0].power.total_mw())
@@ -78,4 +81,11 @@ fn main() {
     );
     println!("expected: improvements flatten past 2x8 while MAB power keeps rising —");
     println!("the paper's reason for picking 2x8 (D) and 2x16 (I).");
+    let s = store.stats();
+    println!(
+        "\ntrace store: {} lookups, {} records — each kernel interpreted once across {} suite calls",
+        s.lookups,
+        s.records,
+        s.lookups / 7
+    );
 }

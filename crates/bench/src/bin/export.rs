@@ -9,9 +9,9 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use waymem_bench::json::Json;
-use waymem_bench::run_suite;
-use waymem_sim::{DScheme, IScheme, SchemeResult, SimConfig, SimResult};
+use waymem_bench::json::{store_stats_json, Json};
+use waymem_bench::run_suite_with_store;
+use waymem_sim::{DScheme, IScheme, SchemeResult, SimConfig, SimResult, TraceStore};
 
 fn row_json(r: &SimResult, side: &str, s: &SchemeResult) -> Json {
     let st = &s.stats;
@@ -73,7 +73,8 @@ fn main() {
             set_entries: 32,
         },
     ];
-    let results = run_suite(&cfg, &dschemes, &ischemes).expect("suite runs");
+    let store = TraceStore::new();
+    let results = run_suite_with_store(&cfg, &dschemes, &ischemes, &store).expect("suite runs");
 
     let mut csv = String::from(
         "benchmark,cache,scheme,cycles,accesses,tag_reads,way_reads,hits,misses,\
@@ -121,6 +122,7 @@ fn main() {
             ("line_bytes", Json::from(cfg.geometry.line_bytes())),
         ])),
         ("scale", Json::from(cfg.scale)),
+        ("trace_store", store_stats_json(&store.stats())),
         ("rows", Json::Array(rows)),
     ]);
 

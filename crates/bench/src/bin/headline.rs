@@ -4,33 +4,50 @@
 //! * total cache power reduced ~30 % on average / 40 % max,
 //! * no performance penalty (zero extra cycles for the MAB schemes).
 //!
-//! It also times the 7-benchmark suite under both engines — the legacy
-//! serial per-event fanout and the record-once/replay-in-parallel
-//! pipeline — and writes the wall-clocks to `BENCH_headline.json` so the
-//! repository tracks its own performance trajectory.
+//! It also times the 7-benchmark suite under three engines — the legacy
+//! serial per-event fanout, a cold pass through the shared
+//! [`TraceStore`] (records or disk-loads each trace), and a warm pass
+//! (pure in-memory store hits) — and writes the wall-clocks plus the
+//! store's hit/miss/compression accounting to `BENCH_headline.json`, so
+//! the repository tracks its own performance trajectory.
+//!
+//! Set `WAYMEM_TRACE_CACHE=<dir>` to persist recorded traces across
+//! invocations; a second run then reports `"records": 0` — the CI
+//! cold-vs-warm smoke checks exactly that.
 
 use std::time::Instant;
 
-use waymem_bench::json::Json;
-use waymem_bench::{geometric_mean, run_suite, run_suite_serial};
-use waymem_sim::{DScheme, IScheme, SimConfig};
+use waymem_bench::json::{store_stats_json, Json};
+use waymem_bench::{geometric_mean, run_suite_serial, run_suite_with_store};
+use waymem_sim::{DScheme, IScheme, SimConfig, TraceStore};
 
 fn main() {
     let cfg = SimConfig::default();
     let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
     let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
+    let store = match std::env::var_os("WAYMEM_TRACE_CACHE") {
+        Some(dir) => TraceStore::with_cache_dir(std::path::PathBuf::from(dir)),
+        None => TraceStore::new(),
+    };
 
     let serial_start = Instant::now();
     let serial = run_suite_serial(&cfg, &dschemes, &ischemes).expect("serial suite runs");
     let serial_s = serial_start.elapsed().as_secs_f64();
 
-    let parallel_start = Instant::now();
-    let results = run_suite(&cfg, &dschemes, &ischemes).expect("suite runs");
-    let parallel_s = parallel_start.elapsed().as_secs_f64();
+    // Cold pass: every lookup misses in memory (records, or loads from a
+    // warm cache dir); warm pass: every lookup is an in-memory hit.
+    let cold_start = Instant::now();
+    let results = run_suite_with_store(&cfg, &dschemes, &ischemes, &store).expect("suite runs");
+    let cold_s = cold_start.elapsed().as_secs_f64();
+    let warm_start = Instant::now();
+    let warm = run_suite_with_store(&cfg, &dschemes, &ischemes, &store).expect("suite runs");
+    let warm_s = warm_start.elapsed().as_secs_f64();
 
-    // The two engines must agree exactly (tests pin this; cheap re-check).
-    for (a, b) in serial.iter().zip(&results) {
+    // The engines must agree exactly (tests pin this; cheap re-check).
+    for (a, rest) in serial.iter().zip(results.iter().zip(&warm)) {
+        let (b, c) = rest;
         assert_eq!(a.cycles, b.cycles, "{}: engines disagree", a.benchmark);
+        assert_eq!(a.cycles, c.cycles, "{}: warm replay disagrees", a.benchmark);
         for (x, y) in a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache)) {
             assert_eq!(x.stats, y.stats, "{}/{}: engines disagree", a.benchmark, x.name);
         }
@@ -72,23 +89,38 @@ fn main() {
         .fold(f64::INFINITY, |acc, &r| acc.min(r));
     println!("maximum total saving: {:.1}%", (1.0 - max_saving) * 100.0);
 
+    let stats = store.stats();
     println!(
-        "\nsuite wall-clock: serial fanout {:.1} ms, record/replay {:.1} ms ({:.2}x)",
+        "\nsuite wall-clock: serial fanout {:.1} ms, store cold {:.1} ms ({:.2}x), store warm {:.1} ms ({:.2}x)",
         serial_s * 1e3,
-        parallel_s * 1e3,
-        serial_s / parallel_s
+        cold_s * 1e3,
+        serial_s / cold_s,
+        warm_s * 1e3,
+        serial_s / warm_s
+    );
+    println!(
+        "trace store: {} lookups, {} hits, {} disk hits, {} records ({:.0}% hit rate), {:.2}x codec compression",
+        stats.lookups,
+        stats.hits,
+        stats.disk_hits,
+        stats.records,
+        stats.hit_rate() * 100.0,
+        stats.compression_ratio()
     );
 
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let report = Json::object(vec![
-        ("schema", Json::from("waymem/headline/v1")),
+        ("schema", Json::from("waymem/headline/v2")),
         ("host_threads", Json::from(host_threads as u64)),
         ("benchmarks", Json::from(results.len() as u64)),
         ("dschemes", Json::from(dschemes.len() as u64)),
         ("ischemes", Json::from(ischemes.len() as u64)),
         ("serial_fanout_seconds", Json::from(serial_s)),
-        ("record_replay_seconds", Json::from(parallel_s)),
-        ("speedup", Json::from(serial_s / parallel_s)),
+        ("store_cold_seconds", Json::from(cold_s)),
+        ("store_warm_seconds", Json::from(warm_s)),
+        ("cold_speedup", Json::from(serial_s / cold_s)),
+        ("warm_speedup", Json::from(serial_s / warm_s)),
+        ("trace_store", store_stats_json(&stats)),
         ("d_saving_avg_pct", Json::from(d_avg)),
         ("i_saving_avg_pct", Json::from(i_avg)),
         ("total_saving_avg_pct", Json::from(t_avg)),

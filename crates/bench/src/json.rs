@@ -136,9 +136,36 @@ impl fmt::Display for Json {
     }
 }
 
+/// The `trace_store` object embedded in `BENCH_headline.json` and
+/// `BENCH_results.json`: the store's hit/miss/bytes accounting plus the
+/// codec's compression ratio against `size_of::<TraceEvent>()` events.
+#[must_use]
+pub fn store_stats_json(stats: &waymem_trace::StoreStats) -> Json {
+    Json::object(vec![
+        ("lookups", Json::from(stats.lookups)),
+        ("hits", Json::from(stats.hits)),
+        ("disk_hits", Json::from(stats.disk_hits)),
+        ("records", Json::from(stats.records)),
+        ("hit_rate", Json::from(stats.hit_rate())),
+        ("raw_bytes", Json::from(stats.raw_bytes)),
+        ("encoded_bytes", Json::from(stats.encoded_bytes)),
+        ("compression_ratio", Json::from(stats.compression_ratio())),
+        ("files_saved", Json::from(stats.files_saved)),
+        ("files_loaded", Json::from(stats.files_loaded)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn store_stats_serialize_with_stable_keys() {
+        let rendered = store_stats_json(&waymem_trace::StoreStats::default()).to_string();
+        for key in ["lookups", "records", "hit_rate", "compression_ratio", "encoded_bytes"] {
+            assert!(rendered.contains(&format!("\"{key}\":")), "missing {key} in {rendered}");
+        }
+    }
 
     #[test]
     fn scalars_render() {

@@ -21,14 +21,17 @@
 //!
 //! Run any of them with `cargo run --release -p waymem-bench --bin <name>`.
 //! The library part of this crate holds the shared sweep drivers — the
-//! parallel [`run_suite`] and the legacy [`run_suite_serial`] it is
-//! benchmarked against (see `benches/replay.rs`) — plus the tiny
+//! parallel [`run_suite`], the store-backed [`run_suite_with_store`]
+//! the multi-config bins thread one [`TraceStore`] through, and the
+//! legacy [`run_suite_serial`] both are benchmarked against (see
+//! `benches/replay.rs` and `benches/trace_store.rs`) — plus the tiny
 //! [`json`] writer behind the `BENCH_*.json` exports, so the binaries
 //! stay tiny and the integration tests can assert on the same structured
 //! data the binaries print.
 
 use waymem_sim::{
-    run_benchmark, run_benchmark_fanout, DScheme, IScheme, RunError, SimConfig, SimResult,
+    run_benchmark, run_benchmark_fanout, run_benchmark_with_store, DScheme, IScheme, RunError,
+    SimConfig, SimResult, TraceStore,
 };
 use waymem_workloads::Benchmark;
 
@@ -94,26 +97,28 @@ pub fn run_suite(
     dschemes: &[DScheme],
     ischemes: &[IScheme],
 ) -> Result<Vec<SimResult>, RunError> {
+    run_suite_via(&|b| run_benchmark(b, cfg, dschemes, ischemes))
+}
+
+/// The shared suite fan-out behind [`run_suite`] and
+/// [`run_suite_with_store`]: both drivers differ only in how one
+/// benchmark is run, so the worker-count / chunking / join-order
+/// contract lives exactly once.
+fn run_suite_via(
+    run_one: &(dyn Fn(Benchmark) -> Result<SimResult, RunError> + Sync),
+) -> Result<Vec<SimResult>, RunError> {
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     // On a single-core host the workers would only interleave; run the
     // benchmarks inline instead (results are identical either way).
     if workers <= 1 {
-        return Benchmark::ALL
-            .iter()
-            .map(|&b| run_benchmark(b, cfg, dschemes, ischemes))
-            .collect();
+        return Benchmark::ALL.iter().map(|&b| run_one(b)).collect();
     }
     let chunk = Benchmark::ALL.len().div_ceil(workers).max(1);
     std::thread::scope(|scope| {
         let handles: Vec<_> = Benchmark::ALL
             .chunks(chunk)
             .map(|group| {
-                scope.spawn(move || {
-                    group
-                        .iter()
-                        .map(|&b| run_benchmark(b, cfg, dschemes, ischemes))
-                        .collect::<Vec<_>>()
-                })
+                scope.spawn(move || group.iter().map(|&b| run_one(b)).collect::<Vec<_>>())
             })
             .collect();
         handles
@@ -121,6 +126,30 @@ pub fn run_suite(
             .flat_map(|h| h.join().expect("suite worker panicked"))
             .collect()
     })
+}
+
+/// [`run_suite`] with a shared [`TraceStore`]: each of the seven
+/// benchmarks is interpreted at most once per `(benchmark, scale)` key
+/// for the store's whole lifetime, so a multi-config sweep calling this
+/// per geometry pays the interpreter exactly seven times for the entire
+/// sweep (zero times, with a warm persistent store) instead of seven
+/// times per configuration.
+///
+/// The fan-out and ordering guarantees are [`run_suite`]'s: at most
+/// [`std::thread::available_parallelism`] benchmark workers, results in
+/// [`Benchmark::ALL`] order, first error in benchmark order. Workers
+/// racing on the same key serialize inside the store and record once.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] in benchmark order.
+pub fn run_suite_with_store(
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+    store: &TraceStore,
+) -> Result<Vec<SimResult>, RunError> {
+    run_suite_via(&|b| run_benchmark_with_store(b, cfg, dschemes, ischemes, store))
 }
 
 /// The pre-record/replay suite driver: benchmarks run one after another,

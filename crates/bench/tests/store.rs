@@ -1,0 +1,110 @@
+//! Suite-level guarantees of the shared trace store: one recording per
+//! `(benchmark, scale)` per process regardless of how many
+//! configurations replay it, results identical to the store-less
+//! drivers, and persistence carrying traces across store instances the
+//! way separate bench-bin invocations do.
+
+use waymem_bench::{run_suite, run_suite_with_store};
+use waymem_sim::{DScheme, IScheme, SimConfig, SimResult, TraceStore};
+use waymem_workloads::Benchmark;
+
+fn schemes() -> (Vec<DScheme>, Vec<IScheme>) {
+    (
+        vec![DScheme::Original, DScheme::paper_way_memo()],
+        vec![IScheme::Original, IScheme::paper_way_memo()],
+    )
+}
+
+fn assert_same_results(a: &[SimResult], b: &[SimResult]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.benchmark, y.benchmark);
+        assert_eq!(x.cycles, y.cycles, "{}: cycles differ", x.benchmark);
+        for (p, q) in x.dcache.iter().zip(&y.dcache).chain(x.icache.iter().zip(&y.icache)) {
+            assert_eq!(p.name, q.name);
+            assert_eq!(p.stats, q.stats, "{}/{}: stats differ", x.benchmark, p.name);
+            assert_eq!(
+                p.power.total_mw().to_bits(),
+                q.power.total_mw().to_bits(),
+                "{}/{}: power differs",
+                x.benchmark,
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_records_each_benchmark_exactly_once_across_configs() {
+    let (d, i) = schemes();
+    let store = TraceStore::new();
+    let cfg = SimConfig::default();
+
+    // Three suite passes over different geometries — the sweep pattern.
+    let first = run_suite_with_store(&cfg, &d, &i, &store).expect("suite runs");
+    let wide = SimConfig {
+        geometry: waymem_cache::Geometry::new(128, 8, 32).expect("valid"),
+        ..cfg
+    };
+    let _ = run_suite_with_store(&wide, &d, &i, &store).expect("suite runs");
+    let long_lines = SimConfig {
+        geometry: waymem_cache::Geometry::new(256, 2, 64).expect("valid"),
+        ..cfg
+    };
+    let _ = run_suite_with_store(&long_lines, &d, &i, &store).expect("suite runs");
+
+    let stats = store.stats();
+    let n = Benchmark::ALL.len() as u64;
+    assert_eq!(stats.records, n, "each (benchmark, scale) recorded exactly once");
+    assert_eq!(stats.lookups, 3 * n);
+    assert_eq!(stats.hits, 2 * n, "later configs replay cached traces");
+    assert_eq!(stats.disk_hits, 0, "no cache dir configured");
+    assert!(stats.compression_ratio() > 1.0, "codec must beat raw events");
+
+    // A different scale is a different key: seven more recordings.
+    let scaled = SimConfig { scale: 2, ..cfg };
+    let _ = run_suite_with_store(&scaled, &d, &i, &store).expect("suite runs");
+    assert_eq!(store.stats().records, 2 * n);
+
+    // And the store-backed results match the store-less driver exactly.
+    let plain = run_suite(&cfg, &d, &i).expect("suite runs");
+    assert_same_results(&first, &plain);
+}
+
+#[test]
+fn warm_suite_is_bit_identical_to_cold() {
+    let (d, i) = schemes();
+    let store = TraceStore::new();
+    let cfg = SimConfig::default();
+    let cold = run_suite_with_store(&cfg, &d, &i, &store).expect("cold");
+    let warm = run_suite_with_store(&cfg, &d, &i, &store).expect("warm");
+    assert_same_results(&cold, &warm);
+    assert_eq!(store.stats().records, Benchmark::ALL.len() as u64);
+}
+
+#[test]
+fn persistent_store_skips_interpretation_on_the_second_instance() {
+    let dir = std::env::temp_dir().join(format!("waymem-store-suite-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (d, i) = schemes();
+    // Keep this test light: one benchmark, via the sim-level entry point.
+    let cfg = SimConfig::default();
+
+    let cold_store = TraceStore::with_cache_dir(&dir);
+    let cold = waymem_sim::run_benchmark_with_store(Benchmark::Dct, &cfg, &d, &i, &cold_store)
+        .expect("cold run");
+    assert_eq!(cold_store.stats().records, 1);
+    assert_eq!(cold_store.stats().files_saved, 1);
+
+    // A second store over the same dir — a fresh process invocation.
+    let warm_store = TraceStore::with_cache_dir(&dir);
+    let warm = waymem_sim::run_benchmark_with_store(Benchmark::Dct, &cfg, &d, &i, &warm_store)
+        .expect("warm run");
+    let stats = warm_store.stats();
+    assert_eq!(stats.records, 0, "warm instance must not interpret");
+    assert_eq!(stats.disk_hits, 1);
+    assert!((stats.hit_rate() - 1.0).abs() < 1e-12, "100% store hits");
+    assert_same_results(std::slice::from_ref(&cold), std::slice::from_ref(&warm));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

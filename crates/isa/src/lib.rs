@@ -55,4 +55,6 @@ pub use cpu::{Cpu, CpuError, RunOutcome};
 pub use inst::{AluImmOp, AluOp, BranchCond, Inst, MemWidth};
 pub use program::{Program, DATA_BASE, STACK_TOP, TEXT_BASE};
 pub use reg::Reg;
-pub use trace::{CountingSink, FetchKind, NullSink, RecordingSink, TraceEvent, TraceSink};
+pub use trace::{
+    CountingSink, FetchKind, NullSink, RecordedTrace, RecordingSink, TraceEvent, TraceSink,
+};

@@ -63,6 +63,68 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The event's primary address: the fetch PC or the effective
+    /// load/store address. This is the value the `waymem-trace` codec's
+    /// delta predictor chains from event to event, and a convenient
+    /// handle for any address-stream analysis.
+    #[must_use]
+    pub fn primary_addr(self) -> u32 {
+        match self {
+            TraceEvent::Fetch { pc, .. } => pc,
+            TraceEvent::Load { addr, .. } | TraceEvent::Store { addr, .. } => addr,
+        }
+    }
+
+}
+
+/// A benchmark's recorded trace, split into the two streams the two
+/// front-end families consume, plus the retired instruction count the
+/// power models need.
+///
+/// The split is the replay engine's key data-layout decision: I-fronts
+/// only ever consume [`TraceEvent::Fetch`] and D-fronts only
+/// [`TraceEvent::Load`]/[`TraceEvent::Store`], so storing one interleaved
+/// stream would make every front walk (and branch over) the other
+/// family's events — for a typical kernel ~90 % of the stream is fetches,
+/// so a D-front would skip ten events for every one it consumes. Each
+/// stream preserves program order, which is all a front-end can observe.
+///
+/// The type lives here (not in `waymem-sim`) so the `waymem-trace` codec
+/// and store can speak it without depending on the simulator; `waymem-sim`
+/// re-exports it under its old path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordedTrace {
+    /// Every instruction fetch, in program order (the I-side stream).
+    pub fetch_events: Vec<TraceEvent>,
+    /// Every load/store, in program order (the D-side stream).
+    pub data_events: Vec<TraceEvent>,
+    /// Instructions retired (= cycles at CPI 1).
+    pub cycles: u64,
+}
+
+impl RecordedTrace {
+    /// Total recorded events across both streams.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fetch_events.len() + self.data_events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fetch_events.is_empty() && self.data_events.is_empty()
+    }
+
+    /// The trace's in-memory footprint: event count ×
+    /// `size_of::<TraceEvent>()`. The denominator of the codec's
+    /// compression-ratio statistic.
+    #[must_use]
+    pub fn raw_size_bytes(&self) -> u64 {
+        (self.len() as u64) * (std::mem::size_of::<TraceEvent>() as u64)
+    }
+}
+
 /// Consumer of the CPU's event stream. Cache front-ends implement this; the
 /// default methods ignore everything so a sink can subscribe selectively.
 pub trait TraceSink {

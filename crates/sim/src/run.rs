@@ -23,6 +23,7 @@ use waymem_hwmodel::{
     cache_energies, mab_power_mw, CacheShape, EnergyCounts, PowerBreakdown, Technology,
 };
 use waymem_isa::{AsmError, Cpu, CpuError, FetchKind, RecordingSink, TraceEvent, TraceSink};
+use waymem_trace::TraceStore;
 use waymem_workloads::Benchmark;
 
 use crate::{DFront, DScheme, IFront, IScheme};
@@ -166,40 +167,7 @@ impl TraceSink for FanoutSink {
     }
 }
 
-/// A benchmark's recorded trace, split into the two streams the two
-/// front-end families consume, plus the retired instruction count the
-/// power models need.
-///
-/// The split is the replay engine's key data-layout decision: I-fronts
-/// only ever consume [`TraceEvent::Fetch`] and D-fronts only
-/// [`TraceEvent::Load`]/[`TraceEvent::Store`], so storing one interleaved
-/// stream would make every front walk (and branch over) the other
-/// family's events — for a typical kernel ~90 % of the stream is fetches,
-/// so a D-front would skip ten events for every one it consumes. Each
-/// stream preserves program order, which is all a front-end can observe.
-#[derive(Debug, Clone, Default)]
-pub struct RecordedTrace {
-    /// Every instruction fetch, in program order (the I-side stream).
-    pub fetch_events: Vec<TraceEvent>,
-    /// Every load/store, in program order (the D-side stream).
-    pub data_events: Vec<TraceEvent>,
-    /// Instructions retired (= cycles at CPI 1).
-    pub cycles: u64,
-}
-
-impl RecordedTrace {
-    /// Total recorded events across both streams.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.fetch_events.len() + self.data_events.len()
-    }
-
-    /// `true` when nothing was recorded.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.fetch_events.is_empty() && self.data_events.is_empty()
-    }
-}
+pub use waymem_isa::RecordedTrace;
 
 /// The recording sink behind [`record_trace`]: like
 /// [`waymem_isa::RecordingSink`] but splitting the stream at capture time
@@ -457,6 +425,34 @@ pub fn run_benchmark(
     Ok(replay_trace(bench, &trace, cfg, dschemes, ischemes))
 }
 
+/// Like [`run_benchmark`], but sourcing the recorded trace from a shared
+/// [`TraceStore`]: the benchmark is interpreted only on the store's first
+/// miss for `(bench, cfg.scale)` — every later call (any geometry, any
+/// scheme set, any thread) replays the cached stream. This is the entry
+/// point multi-config sweeps thread one store through; with a
+/// persistent store (cache dir) even the first call may skip
+/// interpretation.
+///
+/// Replay always goes through the record/replay engine here — with the
+/// trace already in hand, the fanout path's "skip materialization"
+/// advantage no longer exists — and replay of an identical trace is
+/// bit-identical to the fanout (pinned by `tests/determinism.rs`).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the kernel fails to assemble, faults, or does
+/// not halt. Recording errors are not cached; a later call retries.
+pub fn run_benchmark_with_store(
+    bench: Benchmark,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+    store: &TraceStore,
+) -> Result<SimResult, RunError> {
+    let trace = store.get_or_record(bench, cfg.scale, || record_trace(bench, cfg))?;
+    Ok(replay_trace(bench, &trace, cfg, dschemes, ischemes))
+}
+
 /// The pre-record/replay driver: one CPU run with every front-end fed
 /// per event through the serial [`FanoutSink`]. Exists so benches can
 /// measure the engine against its predecessor and so tests can pin the
@@ -650,6 +646,28 @@ mod tests {
         // One fetch per retired instruction, plus the final `halt`, which
         // is fetched but does not retire.
         assert_eq!(trace.fetch_events.len() as u64, trace.cycles + 1);
+    }
+
+    #[test]
+    fn store_backed_run_matches_plain_run_and_records_once() {
+        let cfg = SimConfig::default();
+        let (d, i) = paper_schemes();
+        let store = TraceStore::new();
+        let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
+        let plain = replay_trace(Benchmark::Dct, &trace, &cfg, &d, &i);
+        let first =
+            run_benchmark_with_store(Benchmark::Dct, &cfg, &d, &i, &store).expect("runs");
+        // A different geometry replays the *same* stored trace.
+        let wide = SimConfig {
+            geometry: waymem_cache::Geometry::new(128, 8, 32).expect("valid"),
+            ..cfg
+        };
+        let second =
+            run_benchmark_with_store(Benchmark::Dct, &wide, &d, &i, &store).expect("runs");
+        assert_results_identical(&plain, &first);
+        assert_eq!(second.cycles, first.cycles, "same trace, same cycles");
+        let s = store.stats();
+        assert_eq!((s.lookups, s.records, s.hits), (2, 1, 1));
     }
 
     #[test]

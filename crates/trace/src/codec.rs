@@ -1,0 +1,683 @@
+//! The compact binary trace format (`.wmtr`).
+//!
+//! A recorded benchmark trace is two program-order streams of
+//! [`TraceEvent`]s (fetches apart from loads/stores — the layout the
+//! replay engine consumes) plus a cycle count. In memory each event is
+//! `size_of::<TraceEvent>()` (24 B) regardless of content; on the wire
+//! almost every field is tiny — fetch PCs advance by the 8-byte packet
+//! stride, load/store bases revisit the same few regions, displacements
+//! are small by construction (the paper's whole premise). The codec
+//! exploits that:
+//!
+//! * **delta-encoded addresses** — each section keeps a running
+//!   predictor (the previous event's primary address); events encode the
+//!   zigzagged difference as a LEB128 varint, so the common `+8`
+//!   sequential fetch costs two bytes total;
+//! * **varint lengths everywhere** — displacements and intra-event
+//!   address offsets (branch base relative to the PC, effective address
+//!   relative to `base + disp`) are zigzag varints too;
+//! * **split sections** — the fetch and data streams are encoded
+//!   back-to-back but independently, so a streaming consumer can replay
+//!   one family without touching the other;
+//! * **versioned header + checksum** — a fixed 48-byte header (magic,
+//!   version, event counts, cycles, section lengths) and a trailing
+//!   FNV-1a 32-bit checksum over everything after the magic, so a
+//!   corrupt or truncated file is always an `Err`, never garbage data.
+//!
+//! ## Wire layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "WMTR"
+//! 4       2     format version (little-endian u16, currently 1)
+//! 6       2     flags (reserved, 0)
+//! 8       8     fetch-event count (u64)
+//! 16      8     data-event count (u64)
+//! 24      8     cycles (u64)
+//! 32      8     fetch-section byte length (u64)
+//! 40      8     data-section byte length (u64)
+//! 48      …     fetch section, then data section
+//! end−4   4     FNV-1a32 checksum of bytes [4, end−4)
+//! ```
+//!
+//! Every event starts with a one-byte tag (`0..=3` the four
+//! [`FetchKind`]s, `4` load, `5` store) followed by its varint fields.
+//! Decoding is strict: unknown tags, dangling varints, section byte
+//! counts that disagree with the event counts, and trailing bytes are
+//! all distinct [`CodecError`]s.
+
+use waymem_isa::{FetchKind, RecordedTrace, RecordingSink, TraceEvent, TraceSink};
+
+/// The four magic bytes every `.wmtr` buffer starts with.
+pub const MAGIC: [u8; 4] = *b"WMTR";
+
+/// The format version this build encodes and the only one it decodes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Fixed header length in bytes (the payload starts here).
+pub const HEADER_LEN: usize = 48;
+
+/// Trailing checksum length in bytes.
+const TRAILER_LEN: usize = 4;
+
+/// Events per [`TraceSink::events`] batch during streaming replay: large
+/// enough to amortize the virtual call, small enough that the scratch
+/// buffer stays in cache (4096 × 24 B ≈ 96 kB).
+const REPLAY_CHUNK: usize = 4096;
+
+const TAG_SEQUENTIAL: u8 = 0;
+const TAG_TAKEN_BRANCH: u8 = 1;
+const TAG_LINK_RETURN: u8 = 2;
+const TAG_INDIRECT: u8 = 3;
+const TAG_LOAD: u8 = 4;
+const TAG_STORE: u8 = 5;
+
+/// Why a buffer failed to decode. Every malformed input maps to one of
+/// these — decoding never panics and never fabricates events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the field being read.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The header's version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u16),
+    /// The buffer length disagrees with the header's section lengths.
+    LengthMismatch {
+        /// Byte length the header implies.
+        expected: u64,
+        /// Actual buffer length.
+        found: u64,
+    },
+    /// The trailing checksum does not match the buffer contents.
+    BadChecksum {
+        /// Checksum stored in the trailer.
+        stored: u32,
+        /// Checksum recomputed from the bytes.
+        computed: u32,
+    },
+    /// An event started with an unknown tag byte.
+    BadTag(u8),
+    /// A varint ran past its maximum width (corrupt continuation bits).
+    BadVarint,
+    /// A section's byte length was consumed before its declared event
+    /// count was reached, or held bytes beyond the final event.
+    SectionMismatch {
+        /// Events the header declared for the section.
+        declared: u64,
+        /// Events actually decoded before the section ended.
+        decoded: u64,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "trace buffer truncated"),
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected \"WMTR\")"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v} (expected {FORMAT_VERSION})")
+            }
+            CodecError::LengthMismatch { expected, found } => {
+                write!(f, "buffer length {found} disagrees with header (expected {expected})")
+            }
+            CodecError::BadChecksum { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            CodecError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            CodecError::BadVarint => write!(f, "malformed varint"),
+            CodecError::SectionMismatch { declared, decoded } => {
+                write!(f, "section declared {declared} events but decoded {decoded}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a, 32-bit — tiny, dependency-free, and plenty to catch the
+/// corruption/truncation class of faults (this is an integrity check,
+/// not an authenticity one).
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Zigzag: maps small-magnitude signed values to small unsigned ones.
+fn zigzag(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+fn unzigzag(v: u32) -> i32 {
+    ((v >> 1) as i32) ^ -((v & 1) as i32)
+}
+
+/// The zigzagged wrapping difference `to − from`: the codec's address
+/// predictor residual. Exact for every `u32` pair.
+fn addr_delta(to: u32, from: u32) -> u32 {
+    zigzag(to.wrapping_sub(from) as i32)
+}
+
+fn apply_delta(from: u32, delta: u32) -> u32 {
+    from.wrapping_add(unzigzag(delta) as u32)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u32) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked reader over one section's bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.bytes.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u32, CodecError> {
+        let mut v: u32 = 0;
+        for shift in (0..).step_by(7) {
+            // A u32 varint is at most 5 bytes; the 5th may only carry
+            // the top 4 bits.
+            if shift > 28 {
+                return Err(CodecError::BadVarint);
+            }
+            let b = self.u8()?;
+            let payload = u32::from(b & 0x7f);
+            if shift == 28 && payload > 0x0f {
+                return Err(CodecError::BadVarint);
+            }
+            v |= payload << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        unreachable!("loop returns or errors within 5 iterations")
+    }
+}
+
+/// Appends one event to `out`, chaining the section predictor `prev`
+/// through [`TraceEvent::primary_addr`].
+fn encode_event(out: &mut Vec<u8>, e: TraceEvent, prev: &mut u32) {
+    match e {
+        TraceEvent::Fetch { pc, kind } => match kind {
+            FetchKind::Sequential => {
+                out.push(TAG_SEQUENTIAL);
+                push_varint(out, addr_delta(pc, *prev));
+            }
+            FetchKind::TakenBranch { base, disp } => {
+                out.push(TAG_TAKEN_BRANCH);
+                push_varint(out, addr_delta(pc, *prev));
+                push_varint(out, addr_delta(base, pc));
+                push_varint(out, zigzag(disp));
+            }
+            FetchKind::LinkReturn { target } => {
+                out.push(TAG_LINK_RETURN);
+                push_varint(out, addr_delta(pc, *prev));
+                push_varint(out, addr_delta(target, pc));
+            }
+            FetchKind::Indirect { base, disp } => {
+                out.push(TAG_INDIRECT);
+                push_varint(out, addr_delta(pc, *prev));
+                push_varint(out, addr_delta(base, pc));
+                push_varint(out, zigzag(disp));
+            }
+        },
+        TraceEvent::Load { base, disp, addr, size } => {
+            encode_mem(out, TAG_LOAD, base, disp, addr, size, *prev);
+        }
+        TraceEvent::Store { base, disp, addr, size } => {
+            encode_mem(out, TAG_STORE, base, disp, addr, size, *prev);
+        }
+    }
+    *prev = e.primary_addr();
+}
+
+/// The shared load/store wire form: base delta, displacement, size, and
+/// the effective-address residual (almost always zero — `addr` is
+/// normally exactly `base + disp` — so it costs a single byte).
+fn encode_mem(out: &mut Vec<u8>, tag: u8, base: u32, disp: i32, addr: u32, size: u8, prev: u32) {
+    out.push(tag);
+    push_varint(out, addr_delta(base, prev));
+    push_varint(out, zigzag(disp));
+    out.push(size);
+    push_varint(out, addr_delta(addr, base.wrapping_add(disp as u32)));
+}
+
+fn decode_event(cur: &mut Cursor<'_>, prev: &mut u32) -> Result<TraceEvent, CodecError> {
+    let tag = cur.u8()?;
+    let e = match tag {
+        TAG_SEQUENTIAL | TAG_TAKEN_BRANCH | TAG_LINK_RETURN | TAG_INDIRECT => {
+            let pc = apply_delta(*prev, cur.varint()?);
+            let kind = match tag {
+                TAG_SEQUENTIAL => FetchKind::Sequential,
+                TAG_TAKEN_BRANCH => FetchKind::TakenBranch {
+                    base: apply_delta(pc, cur.varint()?),
+                    disp: unzigzag(cur.varint()?),
+                },
+                TAG_LINK_RETURN => FetchKind::LinkReturn {
+                    target: apply_delta(pc, cur.varint()?),
+                },
+                _ => FetchKind::Indirect {
+                    base: apply_delta(pc, cur.varint()?),
+                    disp: unzigzag(cur.varint()?),
+                },
+            };
+            TraceEvent::Fetch { pc, kind }
+        }
+        TAG_LOAD | TAG_STORE => {
+            let base = apply_delta(*prev, cur.varint()?);
+            let disp = unzigzag(cur.varint()?);
+            let size = cur.u8()?;
+            let addr = apply_delta(base.wrapping_add(disp as u32), cur.varint()?);
+            if tag == TAG_LOAD {
+                TraceEvent::Load { base, disp, addr, size }
+            } else {
+                TraceEvent::Store { base, disp, addr, size }
+            }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    *prev = e.primary_addr();
+    Ok(e)
+}
+
+fn encode_section(out: &mut Vec<u8>, events: &[TraceEvent]) {
+    let mut prev = 0u32;
+    for &e in events {
+        encode_event(out, e, &mut prev);
+    }
+}
+
+/// Decodes one section, handing events downstream in chunks of at most
+/// [`REPLAY_CHUNK`] — the section is never materialized whole.
+fn parse_section(
+    bytes: &[u8],
+    declared: u64,
+    mut emit: impl FnMut(&[TraceEvent]),
+) -> Result<(), CodecError> {
+    let mut cur = Cursor::new(bytes);
+    let mut prev = 0u32;
+    let mut decoded = 0u64;
+    let mut chunk = Vec::with_capacity(REPLAY_CHUNK.min(usize::try_from(declared).unwrap_or(REPLAY_CHUNK)));
+    while decoded < declared {
+        if cur.done() {
+            return Err(CodecError::SectionMismatch { declared, decoded });
+        }
+        chunk.push(decode_event(&mut cur, &mut prev)?);
+        decoded += 1;
+        if chunk.len() == REPLAY_CHUNK {
+            emit(&chunk);
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        emit(&chunk);
+    }
+    if !cur.done() {
+        // Bytes left over after the declared events: corrupt counts.
+        return Err(CodecError::SectionMismatch { declared, decoded });
+    }
+    Ok(())
+}
+
+/// Encodes `trace` into a fresh buffer.
+#[must_use]
+pub fn encode(trace: &RecordedTrace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + trace.len() * 3 + TRAILER_LEN);
+    encode_into(trace, &mut out);
+    out
+}
+
+/// Appends the encoding of `trace` to `out` and returns the number of
+/// bytes written. Encoding is total — every [`RecordedTrace`] has exactly
+/// one wire form.
+pub fn encode_into(trace: &RecordedTrace, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
+    push_u64(out, trace.fetch_events.len() as u64);
+    push_u64(out, trace.data_events.len() as u64);
+    push_u64(out, trace.cycles);
+    // Section lengths are back-patched once known.
+    let lengths_at = out.len();
+    push_u64(out, 0);
+    push_u64(out, 0);
+    debug_assert_eq!(out.len() - start, HEADER_LEN);
+
+    let fetch_start = out.len();
+    encode_section(out, &trace.fetch_events);
+    let fetch_len = (out.len() - fetch_start) as u64;
+    encode_section(out, &trace.data_events);
+    let data_len = (out.len() - fetch_start) as u64 - fetch_len;
+    out[lengths_at..lengths_at + 8].copy_from_slice(&fetch_len.to_le_bytes());
+    out[lengths_at + 8..lengths_at + 16].copy_from_slice(&data_len.to_le_bytes());
+
+    let checksum = fnv1a32(&out[start + MAGIC.len()..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.len() - start
+}
+
+/// Which of the two encoded streams to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// The instruction-fetch stream (what I-front-ends consume).
+    Fetch,
+    /// The load/store stream (what D-front-ends consume).
+    Data,
+}
+
+/// A validated view over an encoded trace, ready to stream events out.
+///
+/// Construction ([`Decoder::new`]) checks the header and the integrity
+/// checksum up front; the per-event byte stream is still validated
+/// lazily as it is walked, so even a checksum collision cannot make the
+/// decoder emit out-of-spec data structures or panic.
+#[derive(Debug, Clone, Copy)]
+pub struct Decoder<'a> {
+    fetch_section: &'a [u8],
+    data_section: &'a [u8],
+    fetch_count: u64,
+    data_count: u64,
+    cycles: u64,
+}
+
+impl<'a> Decoder<'a> {
+    /// Validates `bytes` (magic, version, lengths, checksum) and returns
+    /// a decoder over its sections.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed buffer yields the matching [`CodecError`].
+    pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(CodecError::Truncated);
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
+        if version != FORMAT_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let read_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte slice"));
+        let fetch_count = read_u64(8);
+        let data_count = read_u64(16);
+        let cycles = read_u64(24);
+        let fetch_len = read_u64(32);
+        let data_len = read_u64(40);
+        let expected = (HEADER_LEN as u64)
+            .checked_add(fetch_len)
+            .and_then(|v| v.checked_add(data_len))
+            .and_then(|v| v.checked_add(TRAILER_LEN as u64))
+            .ok_or(CodecError::Truncated)?;
+        if expected != bytes.len() as u64 {
+            return Err(CodecError::LengthMismatch {
+                expected,
+                found: bytes.len() as u64,
+            });
+        }
+        let stored = u32::from_le_bytes(
+            bytes[bytes.len() - TRAILER_LEN..].try_into().expect("4-byte slice"),
+        );
+        let computed = fnv1a32(&bytes[MAGIC.len()..bytes.len() - TRAILER_LEN]);
+        if stored != computed {
+            return Err(CodecError::BadChecksum { stored, computed });
+        }
+        // Every event costs at least one byte, so counts larger than the
+        // section reject cheaply (and bound any pre-allocation).
+        if fetch_count > fetch_len || data_count > data_len {
+            return Err(CodecError::SectionMismatch {
+                declared: if fetch_count > fetch_len { fetch_count } else { data_count },
+                decoded: 0,
+            });
+        }
+        let fetch_end = HEADER_LEN + usize::try_from(fetch_len).map_err(|_| CodecError::Truncated)?;
+        let data_end = fetch_end + usize::try_from(data_len).map_err(|_| CodecError::Truncated)?;
+        Ok(Decoder {
+            fetch_section: &bytes[HEADER_LEN..fetch_end],
+            data_section: &bytes[fetch_end..data_end],
+            fetch_count,
+            data_count,
+            cycles,
+        })
+    }
+
+    /// Instructions retired by the recorded run.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Events in the fetch stream.
+    #[must_use]
+    pub fn fetch_count(&self) -> u64 {
+        self.fetch_count
+    }
+
+    /// Events in the data stream.
+    #[must_use]
+    pub fn data_count(&self) -> u64 {
+        self.data_count
+    }
+
+    /// Streams one section straight into `sink` via batched
+    /// [`TraceSink::events`] calls, using a bounded scratch buffer —
+    /// the stream is never materialized whole. Returns the number of
+    /// events replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the section's bytes are malformed; events
+    /// already emitted before the error stand (sinks that need
+    /// all-or-nothing should decode first).
+    pub fn replay_section<S: TraceSink + ?Sized>(
+        &self,
+        section: Section,
+        sink: &mut S,
+    ) -> Result<u64, CodecError> {
+        let (bytes, declared) = match section {
+            Section::Fetch => (self.fetch_section, self.fetch_count),
+            Section::Data => (self.data_section, self.data_count),
+        };
+        parse_section(bytes, declared, |chunk| sink.events(chunk))?;
+        Ok(declared)
+    }
+
+    /// Streams both sections (fetches, then loads/stores) into `sink`.
+    /// Returns the total number of events replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CodecError`] from either section.
+    pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) -> Result<u64, CodecError> {
+        Ok(self.replay_section(Section::Fetch, sink)? + self.replay_section(Section::Data, sink)?)
+    }
+
+    /// Materializes the full [`RecordedTrace`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if either section's bytes are malformed.
+    pub fn decode(&self) -> Result<RecordedTrace, CodecError> {
+        let mut fetch_events = Vec::with_capacity(RecordingSink::prealloc_cap(self.fetch_count));
+        parse_section(self.fetch_section, self.fetch_count, |chunk| {
+            fetch_events.extend_from_slice(chunk);
+        })?;
+        let mut data_events = Vec::with_capacity(RecordingSink::prealloc_cap(self.data_count));
+        parse_section(self.data_section, self.data_count, |chunk| {
+            data_events.extend_from_slice(chunk);
+        })?;
+        Ok(RecordedTrace {
+            fetch_events,
+            data_events,
+            cycles: self.cycles,
+        })
+    }
+}
+
+/// Decodes an encoded buffer back into a [`RecordedTrace`].
+///
+/// # Errors
+///
+/// Any malformed buffer yields the matching [`CodecError`]; decoding
+/// never panics.
+pub fn decode(bytes: &[u8]) -> Result<RecordedTrace, CodecError> {
+    Decoder::new(bytes)?.decode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waymem_isa::CountingSink;
+
+    fn sample_trace() -> RecordedTrace {
+        RecordedTrace {
+            fetch_events: vec![
+                TraceEvent::Fetch { pc: 0x1000, kind: FetchKind::Sequential },
+                TraceEvent::Fetch { pc: 0x1008, kind: FetchKind::Sequential },
+                TraceEvent::Fetch {
+                    pc: 0x0f00,
+                    kind: FetchKind::TakenBranch { base: 0x1008, disp: -264 },
+                },
+                TraceEvent::Fetch { pc: 0x2000, kind: FetchKind::LinkReturn { target: 0x2000 } },
+                TraceEvent::Fetch {
+                    pc: 0x3000,
+                    kind: FetchKind::Indirect { base: 0x2ff0, disp: 16 },
+                },
+            ],
+            data_events: vec![
+                TraceEvent::Load { base: 0x8000, disp: 4, addr: 0x8004, size: 4 },
+                TraceEvent::Store { base: 0x8000, disp: -8, addr: 0x7ff8, size: 2 },
+                TraceEvent::Load { base: 0, disp: 0, addr: u32::MAX, size: 1 },
+            ],
+            cycles: 12345,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        assert_eq!(decode(&bytes).expect("decodes"), trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = RecordedTrace::default();
+        let bytes = encode(&trace);
+        assert_eq!(bytes.len(), HEADER_LEN + TRAILER_LEN);
+        assert_eq!(decode(&bytes).expect("decodes"), trace);
+    }
+
+    #[test]
+    fn sequential_fetches_cost_two_bytes() {
+        let trace = RecordedTrace {
+            fetch_events: (0..1000)
+                .map(|i| TraceEvent::Fetch { pc: 0x1000 + 8 * i, kind: FetchKind::Sequential })
+                .collect(),
+            data_events: Vec::new(),
+            cycles: 1000,
+        };
+        let bytes = encode(&trace);
+        let payload = bytes.len() - HEADER_LEN - TRAILER_LEN;
+        // Tag byte + one-byte varint delta (first event's delta is larger).
+        assert!(payload <= 2 * 1000 + 2, "payload {payload}");
+        assert!(bytes.len() * 8 < trace.raw_size_bytes() as usize, "no compression win");
+    }
+
+    #[test]
+    fn encode_into_appends() {
+        let trace = sample_trace();
+        let mut buf = vec![0xAA, 0xBB];
+        let written = encode_into(&trace, &mut buf);
+        assert_eq!(buf.len(), 2 + written);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        assert_eq!(decode(&buf[2..]).expect("decodes"), trace);
+    }
+
+    #[test]
+    fn streaming_replay_matches_counts() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        let dec = Decoder::new(&bytes).expect("valid");
+        assert_eq!(dec.cycles(), trace.cycles);
+        let mut sink = CountingSink::default();
+        let replayed = dec.replay(&mut sink).expect("replays");
+        assert_eq!(replayed, trace.len() as u64);
+        assert_eq!(sink.fetches, trace.fetch_events.len() as u64);
+        assert_eq!(sink.loads + sink.stores, trace.data_events.len() as u64);
+        let mut fetch_only = CountingSink::default();
+        dec.replay_section(Section::Fetch, &mut fetch_only).expect("replays");
+        assert_eq!(fetch_only.loads + fetch_only.stores, 0);
+        assert_eq!(fetch_only.fetches, trace.fetch_events.len() as u64);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample_trace());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(CodecError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = encode(&sample_trace());
+        bytes[4] = 0xFF;
+        assert!(matches!(decode(&bytes), Err(CodecError::UnsupportedVersion(_))));
+    }
+
+    #[test]
+    fn every_truncation_is_an_error() {
+        let bytes = encode(&sample_trace());
+        for len in 0..bytes.len() {
+            assert!(decode(&bytes[..len]).is_err(), "prefix of {len} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_an_error() {
+        // The checksum covers everything after the magic, so any one-bit
+        // corruption anywhere must surface as an Err.
+        let bytes = encode(&sample_trace());
+        for at in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x01;
+            assert!(decode(&corrupt).is_err(), "flip at {at} decoded");
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 12345, -54321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

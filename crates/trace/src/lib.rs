@@ -1,0 +1,58 @@
+//! # waymem-trace — trace storage for the way-memoization workbench
+//!
+//! The simulator's record-once/replay-in-parallel engine (PR 2) pays the
+//! CPU-interpreter cost once *per `run_benchmark` call*. Sweeps call it
+//! dozens of times with different cache geometries while the recorded
+//! stream — which depends only on the benchmark and its scale — stays
+//! identical. This crate makes traces first-class stored artifacts:
+//!
+//! * [`codec`] — a compact binary wire format for
+//!   [`RecordedTrace`](waymem_isa::RecordedTrace) streams:
+//!   delta-encoded addresses with varint lengths, split fetch/data
+//!   sections, a versioned header with event counts and an FNV-1a
+//!   integrity checksum. [`codec::encode_into`]/[`codec::decode`]
+//!   materialize; [`codec::Decoder`] streams events straight into any
+//!   [`TraceSink`](waymem_isa::TraceSink) through batched
+//!   `events(&[TraceEvent])` calls without building a `Vec`.
+//! * [`store`] — [`TraceStore`], a thread-safe cache keyed by
+//!   `(Benchmark, scale)`: records on first miss, hands out shared
+//!   `Arc` traces thereafter, counts hits/misses/bytes, and (optionally)
+//!   persists recordings under a cache directory so repeated process
+//!   invocations skip interpretation entirely.
+//!
+//! `waymem-sim::run_benchmark_with_store` and
+//! `waymem-bench::run_suite_with_store` thread one store through whole
+//! sweeps; the bench bins create one per process.
+//!
+//! ```
+//! use waymem_trace::{codec, TraceStore};
+//! use waymem_isa::{FetchKind, RecordedTrace, TraceEvent};
+//! use waymem_workloads::Benchmark;
+//!
+//! let trace = RecordedTrace {
+//!     fetch_events: vec![TraceEvent::Fetch { pc: 0x100, kind: FetchKind::Sequential }],
+//!     data_events: vec![],
+//!     cycles: 1,
+//! };
+//!
+//! // The codec round-trips exactly…
+//! let bytes = codec::encode(&trace);
+//! assert_eq!(codec::decode(&bytes).unwrap(), trace);
+//!
+//! // …and the store records each (benchmark, scale) once.
+//! let store = TraceStore::new();
+//! for _ in 0..3 {
+//!     store.get_or_record(Benchmark::Dct, 1, || Ok::<_, ()>(trace.clone())).unwrap();
+//! }
+//! assert_eq!(store.stats().records, 1);
+//! assert_eq!(store.stats().hits, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod codec;
+pub mod store;
+
+pub use codec::{decode, encode, encode_into, CodecError, Decoder, Section};
+pub use store::{StoreStats, TraceKey, TraceStore};

@@ -1,0 +1,549 @@
+//! The cross-config trace cache.
+//!
+//! Multi-config sweeps (`assoc_sweep`, `ablation`, line-size sweeps) run
+//! the same seven benchmarks under many cache geometries. The trace a
+//! benchmark produces depends only on `(Benchmark, scale)` — never on
+//! the geometry or scheme being evaluated — so re-interpreting the
+//! kernel per configuration is pure waste. [`TraceStore`] memoizes the
+//! recording: the first lookup for a key runs the caller's recorder, and
+//! every later lookup (from any thread) shares the same
+//! `Arc<RecordedTrace>`.
+//!
+//! With a cache directory configured, recordings also persist to disk in
+//! the [`codec`](crate::codec) wire format, so *separate process
+//! invocations* skip interpretation too: a cold `headline` run records
+//! and saves, a warm one loads and reports zero records.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use waymem_isa::RecordedTrace;
+use waymem_workloads::Benchmark;
+
+use crate::codec;
+
+/// What a stored trace is keyed by: the benchmark and its workload scale
+/// factor. Everything else (geometry, scheme, technology) only affects
+/// replay, not the recorded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceKey {
+    /// The benchmark that produced the trace.
+    pub benchmark: Benchmark,
+    /// The workload scale factor it ran at.
+    pub scale: u32,
+}
+
+impl TraceKey {
+    /// The key's on-disk file name, e.g. `dct-s1.wmtr`.
+    #[must_use]
+    pub fn file_name(self) -> String {
+        format!("{}-s{}.wmtr", self.benchmark.name().to_lowercase(), self.scale)
+    }
+
+    /// Parses a cache file name back into a key (the inverse of
+    /// [`file_name`](Self::file_name)); `None` for foreign files.
+    #[must_use]
+    pub fn from_file_name(name: &str) -> Option<Self> {
+        let stem = name.strip_suffix(".wmtr")?;
+        let (bench_name, scale_part) = stem.rsplit_once("-s")?;
+        let scale: u32 = scale_part.parse().ok()?;
+        let benchmark = Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().to_lowercase() == bench_name)?;
+        Some(TraceKey { benchmark, scale })
+    }
+}
+
+/// A snapshot of a store's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total [`TraceStore::get_or_record`] calls.
+    pub lookups: u64,
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups served by decoding a cache-dir file (no interpretation).
+    pub disk_hits: u64,
+    /// Lookups that had to run the recorder (cold misses).
+    pub records: u64,
+    /// In-memory footprint of every trace recorded or loaded, in bytes
+    /// (`events × size_of::<TraceEvent>()`).
+    pub raw_bytes: u64,
+    /// Wire-format footprint of the same traces, in bytes.
+    pub encoded_bytes: u64,
+    /// Cache files written (best-effort persistence).
+    pub files_saved: u64,
+    /// Cache files successfully decoded (on-miss loads plus
+    /// [`TraceStore::load`]).
+    pub files_loaded: u64,
+}
+
+impl StoreStats {
+    /// Fraction of lookups that skipped interpretation (memory or disk),
+    /// in `[0, 1]`; zero when nothing was looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.hits + self.disk_hits) as f64 / self.lookups as f64
+        }
+    }
+
+    /// How much smaller the wire format is than the in-memory events:
+    /// `raw_bytes / encoded_bytes`. Zero when nothing was encoded.
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.encoded_bytes as f64
+        }
+    }
+}
+
+/// The store's live counters. Atomics so the hot accessors take no lock.
+#[derive(Debug, Default)]
+struct Counters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    records: AtomicU64,
+    raw_bytes: AtomicU64,
+    encoded_bytes: AtomicU64,
+    files_saved: AtomicU64,
+    files_loaded: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn account_trace(&self, trace: &RecordedTrace, encoded_len: usize) {
+        self.raw_bytes.fetch_add(trace.raw_size_bytes(), Ordering::Relaxed);
+        self.encoded_bytes.fetch_add(encoded_len as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
+            encoded_bytes: self.encoded_bytes.load(Ordering::Relaxed),
+            files_saved: self.files_saved.load(Ordering::Relaxed),
+            files_loaded: self.files_loaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One key's slot. The per-key mutex serializes *recording* of that key
+/// only: two threads racing on the same benchmark record it once (the
+/// loser blocks, then hits), while different keys record concurrently —
+/// exactly what `run_suite`'s benchmark fan-out needs.
+type Slot = Arc<Mutex<Option<Arc<RecordedTrace>>>>;
+
+/// A thread-safe, keyed cache of recorded traces with optional on-disk
+/// persistence. See the [module docs](self) for the role it plays.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    slots: Mutex<HashMap<TraceKey, Slot>>,
+    cache_dir: Option<PathBuf>,
+    counters: Counters,
+}
+
+impl TraceStore {
+    /// An empty, memory-only store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store that persists under `dir`: cold recordings are saved
+    /// there (best-effort) and misses try to decode a saved file before
+    /// falling back to the recorder. The directory is created on first
+    /// save.
+    #[must_use]
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
+        TraceStore {
+            cache_dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// The persistence directory, if one was configured.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Number of traces currently held in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let slots = self.slots.lock().expect("trace store poisoned");
+        slots
+            .values()
+            .filter(|s| s.lock().expect("trace slot poisoned").is_some())
+            .count()
+    }
+
+    /// `true` when no trace is held in memory.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the store's statistics.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+
+    fn slot(&self, key: TraceKey) -> Slot {
+        let mut slots = self.slots.lock().expect("trace store poisoned");
+        slots.entry(key).or_default().clone()
+    }
+
+    fn file_path(&self, key: TraceKey) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|d| d.join(key.file_name()))
+    }
+
+    /// Tries to serve `key` from the cache dir. Any I/O or decode
+    /// failure is treated as a plain miss — a stale or corrupt cache
+    /// file must never break a run.
+    fn load_from_disk(&self, key: TraceKey) -> Option<RecordedTrace> {
+        let bytes = std::fs::read(self.file_path(key)?).ok()?;
+        let trace = codec::decode(&bytes).ok()?;
+        Counters::bump(&self.counters.files_loaded);
+        self.counters.account_trace(&trace, bytes.len());
+        Some(trace)
+    }
+
+    /// Best-effort persistence: encoding feeds the compression stats
+    /// even when the write itself fails or no dir is configured.
+    fn save_to_disk(&self, key: TraceKey, trace: &RecordedTrace) {
+        let bytes = codec::encode(trace);
+        self.counters.account_trace(trace, bytes.len());
+        let Some(path) = self.file_path(key) else { return };
+        let Some(dir) = self.cache_dir.as_ref() else { return };
+        if std::fs::create_dir_all(dir).is_ok() && std::fs::write(&path, &bytes).is_ok() {
+            Counters::bump(&self.counters.files_saved);
+        }
+    }
+
+    /// Returns the trace for `(benchmark, scale)`, running `record` only
+    /// on a cold miss (once per key per process, even under concurrent
+    /// callers; racing threads on the same key block and then hit).
+    /// With a cache dir, a miss first tries the saved file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the recorder's error; nothing is cached for the key in
+    /// that case, so a later call retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the key's lock panicked.
+    pub fn get_or_record<E>(
+        &self,
+        benchmark: Benchmark,
+        scale: u32,
+        record: impl FnOnce() -> Result<RecordedTrace, E>,
+    ) -> Result<Arc<RecordedTrace>, E> {
+        let key = TraceKey { benchmark, scale };
+        let slot = self.slot(key);
+        let mut guard = slot.lock().expect("trace slot poisoned");
+        Counters::bump(&self.counters.lookups);
+        if let Some(trace) = guard.as_ref() {
+            Counters::bump(&self.counters.hits);
+            return Ok(Arc::clone(trace));
+        }
+        if let Some(trace) = self.load_from_disk(key) {
+            Counters::bump(&self.counters.disk_hits);
+            let trace = Arc::new(trace);
+            *guard = Some(Arc::clone(&trace));
+            return Ok(trace);
+        }
+        let trace = record()?;
+        Counters::bump(&self.counters.records);
+        let trace = Arc::new(trace);
+        *guard = Some(Arc::clone(&trace));
+        // Account + persist outside the per-key lock: waiters queued on
+        // this key proceed with the Arc immediately; the encode pass
+        // only feeds the compression stats and the best-effort cache
+        // file, so nothing downstream observes it.
+        drop(guard);
+        self.save_to_disk(key, &trace);
+        Ok(trace)
+    }
+
+    /// The trace for `(benchmark, scale)` if it is already in memory.
+    /// Does not consult the disk cache and does not touch the lookup
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the key's lock panicked.
+    #[must_use]
+    pub fn get(&self, benchmark: Benchmark, scale: u32) -> Option<Arc<RecordedTrace>> {
+        let slot = self.slot(TraceKey { benchmark, scale });
+        let guard = slot.lock().expect("trace slot poisoned");
+        guard.as_ref().map(Arc::clone)
+    }
+
+    /// Writes every in-memory trace to the cache dir, returning how many
+    /// files were written. Unlike the automatic on-record persistence
+    /// this surfaces I/O errors, so callers invoking it deliberately
+    /// (e.g. a `--save-cache` flag) see failures.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if the store has no cache dir; otherwise the first
+    /// I/O error encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of an internal lock panicked.
+    pub fn save(&self) -> io::Result<usize> {
+        let dir = self.cache_dir.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "trace store has no cache dir")
+        })?;
+        std::fs::create_dir_all(dir)?;
+        let entries: Vec<(TraceKey, Arc<RecordedTrace>)> = {
+            let slots = self.slots.lock().expect("trace store poisoned");
+            slots
+                .iter()
+                .filter_map(|(k, s)| {
+                    s.lock().expect("trace slot poisoned").as_ref().map(|t| (*k, Arc::clone(t)))
+                })
+                .collect()
+        };
+        let mut written = 0;
+        for (key, trace) in entries {
+            std::fs::write(dir.join(key.file_name()), codec::encode(&trace))?;
+            written += 1;
+            Counters::bump(&self.counters.files_saved);
+        }
+        Ok(written)
+    }
+
+    /// Preloads every decodable `*.wmtr` file from the cache dir into
+    /// memory, returning how many loaded. Files that fail to decode are
+    /// skipped (stale caches must not break anything); keys already in
+    /// memory are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if the store has no cache dir; `NotFound`/other
+    /// I/O errors from reading the directory itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of an internal lock panicked.
+    pub fn load(&self) -> io::Result<usize> {
+        let dir = self.cache_dir.clone().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "trace store has no cache dir")
+        })?;
+        let mut loaded = 0;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(key) = name.to_str().and_then(TraceKey::from_file_name) else {
+                continue;
+            };
+            let slot = self.slot(key);
+            let mut guard = slot.lock().expect("trace slot poisoned");
+            if guard.is_some() {
+                continue;
+            }
+            if let Some(trace) = self.load_from_disk(key) {
+                *guard = Some(Arc::new(trace));
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waymem_isa::{FetchKind, TraceEvent};
+
+    fn tiny_trace(cycles: u64) -> RecordedTrace {
+        RecordedTrace {
+            fetch_events: vec![TraceEvent::Fetch { pc: 0x100, kind: FetchKind::Sequential }],
+            data_events: vec![TraceEvent::Load { base: 8, disp: 4, addr: 12, size: 4 }],
+            cycles,
+        }
+    }
+
+    /// A scratch directory under the system temp dir, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "waymem-trace-test-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn records_once_then_hits() {
+        let store = TraceStore::new();
+        let mut recordings = 0;
+        for _ in 0..3 {
+            let t = store
+                .get_or_record(Benchmark::Dct, 1, || {
+                    recordings += 1;
+                    Ok::<_, ()>(tiny_trace(7))
+                })
+                .expect("records");
+            assert_eq!(t.cycles, 7);
+        }
+        assert_eq!(recordings, 1);
+        let s = store.stats();
+        assert_eq!((s.lookups, s.records, s.hits, s.disk_hits), (3, 1, 2, 0));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_record_separately() {
+        let store = TraceStore::new();
+        let t1 = store
+            .get_or_record(Benchmark::Dct, 1, || Ok::<_, ()>(tiny_trace(1)))
+            .expect("records");
+        let t2 = store
+            .get_or_record(Benchmark::Dct, 2, || Ok::<_, ()>(tiny_trace(2)))
+            .expect("records");
+        let t3 = store
+            .get_or_record(Benchmark::Fft, 1, || Ok::<_, ()>(tiny_trace(3)))
+            .expect("records");
+        assert_eq!((t1.cycles, t2.cycles, t3.cycles), (1, 2, 3));
+        assert_eq!(store.stats().records, 3);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn recorder_errors_are_not_cached() {
+        let store = TraceStore::new();
+        let err = store.get_or_record(Benchmark::Dct, 1, || Err::<RecordedTrace, _>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        let ok = store
+            .get_or_record(Benchmark::Dct, 1, || Ok::<_, &str>(tiny_trace(9)))
+            .expect("retries");
+        assert_eq!(ok.cycles, 9);
+        assert_eq!(store.stats().records, 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_records_once() {
+        let store = TraceStore::new();
+        let recordings = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let t = store
+                        .get_or_record(Benchmark::Fft, 1, || {
+                            recordings.fetch_add(1, Ordering::SeqCst);
+                            Ok::<_, ()>(tiny_trace(42))
+                        })
+                        .expect("records");
+                    assert_eq!(t.cycles, 42);
+                });
+            }
+        });
+        assert_eq!(recordings.load(Ordering::SeqCst), 1);
+        let s = store.stats();
+        assert_eq!((s.lookups, s.records, s.hits), (8, 1, 7));
+    }
+
+    #[test]
+    fn persistence_round_trips_across_stores() {
+        let tmp = TempDir::new("persist");
+        let cold = TraceStore::with_cache_dir(&tmp.0);
+        cold.get_or_record(Benchmark::Dct, 1, || Ok::<_, ()>(tiny_trace(11)))
+            .expect("records");
+        assert_eq!(cold.stats().files_saved, 1);
+
+        // A fresh store over the same dir: the lookup is a disk hit.
+        let warm = TraceStore::with_cache_dir(&tmp.0);
+        let t = warm
+            .get_or_record(Benchmark::Dct, 1, || {
+                panic!("must not re-record");
+                #[allow(unreachable_code)]
+                Ok::<_, ()>(tiny_trace(0))
+            })
+            .expect("loads");
+        assert_eq!(t.cycles, 11);
+        let s = warm.stats();
+        assert_eq!((s.records, s.disk_hits, s.files_loaded), (0, 1, 1));
+        assert!((s.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_save_and_load() {
+        let tmp = TempDir::new("explicit");
+        let store = TraceStore::new();
+        assert!(store.save().is_err(), "no cache dir configured");
+
+        let saver = TraceStore::with_cache_dir(&tmp.0);
+        saver
+            .get_or_record(Benchmark::Compress, 3, || Ok::<_, ()>(tiny_trace(5)))
+            .expect("records");
+        assert_eq!(saver.save().expect("saves"), 1);
+
+        let loader = TraceStore::with_cache_dir(&tmp.0);
+        assert_eq!(loader.load().expect("loads"), 1);
+        assert_eq!(loader.get(Benchmark::Compress, 3).expect("in memory").cycles, 5);
+        // A corrupt extra file is skipped, not fatal.
+        std::fs::write(tmp.0.join("dct-s1.wmtr"), b"garbage").expect("writes");
+        let skipper = TraceStore::with_cache_dir(&tmp.0);
+        assert_eq!(skipper.load().expect("loads"), 1);
+        assert!(skipper.get(Benchmark::Dct, 1).is_none());
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        for bench in Benchmark::ALL {
+            for scale in [1, 2, 16] {
+                let key = TraceKey { benchmark: bench, scale };
+                assert_eq!(TraceKey::from_file_name(&key.file_name()), Some(key));
+            }
+        }
+        assert_eq!(TraceKey::from_file_name("nope.wmtr"), None);
+        assert_eq!(TraceKey::from_file_name("dct-s1.txt"), None);
+        assert_eq!(TraceKey::from_file_name("dct-sX.wmtr"), None);
+    }
+
+    #[test]
+    fn compression_stats_accumulate() {
+        let store = TraceStore::new();
+        store
+            .get_or_record(Benchmark::Dct, 1, || Ok::<_, ()>(tiny_trace(1)))
+            .expect("records");
+        let s = store.stats();
+        assert_eq!(s.raw_bytes, tiny_trace(1).raw_size_bytes());
+        assert!(s.encoded_bytes > 0);
+        assert!(s.compression_ratio() > 0.0);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`isa`] — the frv-lite CPU, assembler and trace machinery;
 //! * [`workloads`] — the seven benchmark kernels;
 //! * [`hwmodel`] — analytical area/delay/power models (Tables 1–3);
+//! * [`trace`] — trace storage: the compact binary codec and the
+//!   cross-config [`TraceStore`](trace::TraceStore) cache;
 //! * [`sim`] — cache front-ends for every scheme and the experiment
 //!   driver (Figures 4–8).
 //!
@@ -46,6 +48,7 @@ pub use waymem_core as core;
 pub use waymem_hwmodel as hwmodel;
 pub use waymem_isa as isa;
 pub use waymem_sim as sim;
+pub use waymem_trace as trace;
 pub use waymem_workloads as workloads;
 
 /// Convenience re-exports of the types most programs start from.
@@ -53,6 +56,9 @@ pub mod prelude {
     pub use waymem_cache::{AccessStats, Geometry};
     pub use waymem_core::{Mab, MabConfig, MabLookup};
     pub use waymem_hwmodel::Technology;
-    pub use waymem_sim::{run_benchmark, DScheme, IScheme, SimConfig, SimResult};
+    pub use waymem_sim::{
+        run_benchmark, run_benchmark_with_store, DScheme, IScheme, SimConfig, SimResult,
+    };
+    pub use waymem_trace::TraceStore;
     pub use waymem_workloads::Benchmark;
 }

@@ -73,6 +73,46 @@ fn parallel_replay_is_bit_identical_to_serial_fanout() {
 }
 
 #[test]
+fn decoded_trace_replays_bit_identical_to_in_memory_trace() {
+    // The wire format must be lossless *for the experiment*, not just for
+    // the event structs: a trace that goes through encode → decode (as a
+    // disk-cached trace does) has to drive every front-end to the exact
+    // same f64 bits as the trace that never left memory.
+    let cfg = SimConfig::default();
+    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
+    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
+    for bench in [Benchmark::Dct, Benchmark::Fft] {
+        let trace = waymem::sim::record_trace(bench, &cfg).expect("records");
+        let bytes = waymem::trace::encode(&trace);
+        let decoded = waymem::trace::decode(&bytes).expect("decodes");
+        assert_eq!(decoded, trace, "{bench}: decode must be the identity");
+        let in_memory = waymem::sim::replay_trace(bench, &trace, &cfg, &dschemes, &ischemes);
+        let from_disk = waymem::sim::replay_trace(bench, &decoded, &cfg, &dschemes, &ischemes);
+        assert_identical(&in_memory, &from_disk);
+    }
+}
+
+#[test]
+fn store_backed_run_is_bit_identical_to_direct_run() {
+    // `run_benchmark_with_store` must be a pure caching layer: same
+    // results as recording + replaying directly, cold and warm alike.
+    let cfg = SimConfig::default();
+    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
+    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
+    let store = TraceStore::new();
+    let trace = waymem::sim::record_trace(Benchmark::Dct, &cfg).expect("records");
+    let direct = waymem::sim::replay_trace(Benchmark::Dct, &trace, &cfg, &dschemes, &ischemes);
+    let cold = run_benchmark_with_store(Benchmark::Dct, &cfg, &dschemes, &ischemes, &store)
+        .expect("cold");
+    let warm = run_benchmark_with_store(Benchmark::Dct, &cfg, &dschemes, &ischemes, &store)
+        .expect("warm");
+    assert_identical(&direct, &cold);
+    assert_identical(&cold, &warm);
+    assert_eq!(store.stats().records, 1);
+    assert_eq!(store.stats().hits, 1);
+}
+
+#[test]
 fn recorded_trace_replays_identically_twice() {
     // Replay must not mutate the trace or leak state between runs: two
     // replays of one recorded trace yield identical AccessStats.
