@@ -38,7 +38,7 @@ fn main() {
         "way_memo+lb"
     );
     for r in &results {
-        print!("{:<12}", r.benchmark.name());
+        print!("{:<12}", r.workload.name());
         for s in &r.dcache {
             print!(
                 "  {:>13.2} mW/{:>6}",

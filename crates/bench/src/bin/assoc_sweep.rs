@@ -47,9 +47,10 @@ fn sweep(
         for r in &results {
             let ratio = r.dcache[1].power.total_mw() / r.dcache[0].power.total_mw();
             per_assoc[col].push(ratio);
-            match rows.iter_mut().find(|(n, _)| n == r.benchmark.name()) {
+            let name = r.workload.name();
+            match rows.iter_mut().find(|(n, _)| *n == name) {
                 Some((_, v)) => v.push(ratio),
-                None => rows.push((r.benchmark.name().to_owned(), vec![ratio])),
+                None => rows.push((name, vec![ratio])),
             }
         }
     }

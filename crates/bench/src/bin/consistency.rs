@@ -44,7 +44,7 @@ fn main() {
             };
             println!(
                 "{:<12} {:>14} {:>14} {:>15.4}%",
-                r.benchmark.name(),
+                r.workload.name(),
                 s.mab_hits,
                 s.unsound_hits,
                 frac * 100.0

@@ -10,14 +10,14 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use waymem_bench::json::{store_stats_json, Json};
-use waymem_bench::run_suite_with_store;
-use waymem_sim::{DScheme, IScheme, SchemeResult, SimConfig, SimResult, TraceStore};
+use waymem_bench::{full_dschemes, full_ischemes, run_suite_with_store, store_from_env};
+use waymem_sim::{SchemeResult, SimConfig, SimResult};
 
 fn row_json(r: &SimResult, side: &str, s: &SchemeResult) -> Json {
     let st = &s.stats;
     let p = &s.power;
     Json::object(vec![
-        ("benchmark", Json::from(r.benchmark.name())),
+        ("benchmark", Json::from(r.workload.name())),
         ("cache", Json::from(side)),
         ("scheme", Json::from(s.name.clone())),
         ("cycles", Json::from(r.cycles)),
@@ -42,38 +42,9 @@ fn row_json(r: &SimResult, side: &str, s: &SchemeResult) -> Json {
 fn main() {
     let out_dir = std::env::args().nth(1);
     let cfg = SimConfig::default();
-    let dschemes = [
-        DScheme::Original,
-        DScheme::SetBuffer { entries: 1 },
-        DScheme::FilterCache { lines: 4 },
-        DScheme::WayPredict,
-        DScheme::TwoPhase,
-        DScheme::paper_way_memo(),
-        DScheme::WayMemoLineBuffer {
-            tag_entries: 2,
-            set_entries: 8,
-            line_entries: 2,
-        },
-    ];
-    let ischemes = [
-        IScheme::Original,
-        IScheme::IntraLine,
-        IScheme::LinkMemo,
-        IScheme::ExtendedBtb { entries: 32 },
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 8,
-        },
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 16,
-        },
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 32,
-        },
-    ];
-    let store = TraceStore::new();
+    let dschemes = full_dschemes();
+    let ischemes = full_ischemes();
+    let store = store_from_env();
     let results = run_suite_with_store(&cfg, &dschemes, &ischemes, &store).expect("suite runs");
 
     let mut csv = String::from(
@@ -90,7 +61,7 @@ fn main() {
                 let _ = writeln!(
                     csv,
                     "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
-                    r.benchmark.name(),
+                    r.workload.name(),
                     side,
                     s.name,
                     r.cycles,

@@ -12,7 +12,7 @@ fn main() {
     let tag_rows: Vec<FigureRow> = results
         .iter()
         .map(|r| FigureRow {
-            label: r.benchmark.name().to_owned(),
+            label: r.workload.name(),
             values: r
                 .dcache
                 .iter()
@@ -28,7 +28,7 @@ fn main() {
     let way_rows: Vec<FigureRow> = results
         .iter()
         .map(|r| FigureRow {
-            label: r.benchmark.name().to_owned(),
+            label: r.workload.name(),
             values: r
                 .dcache
                 .iter()

@@ -18,7 +18,7 @@ fn main() {
             .collect();
         print!(
             "{}",
-            format_power_table(&format!("Figure 5: D-cache power — {}", r.benchmark), &entries)
+            format_power_table(&format!("Figure 5: D-cache power — {}", r.workload), &entries)
         );
         let orig = r.dcache[0].power.total_mw();
         let ours = r.dcache[2].power.total_mw();

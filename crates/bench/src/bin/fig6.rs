@@ -11,7 +11,7 @@ fn main() {
     let tag_rows: Vec<FigureRow> = results
         .iter()
         .map(|r| FigureRow {
-            label: r.benchmark.name().to_owned(),
+            label: r.workload.name(),
             values: r
                 .icache
                 .iter()
@@ -27,7 +27,7 @@ fn main() {
     let way_rows: Vec<FigureRow> = results
         .iter()
         .map(|r| FigureRow {
-            label: r.benchmark.name().to_owned(),
+            label: r.workload.name(),
             values: r
                 .icache
                 .iter()

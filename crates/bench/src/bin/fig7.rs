@@ -17,7 +17,7 @@ fn main() {
             .collect();
         print!(
             "{}",
-            format_power_table(&format!("Figure 7: I-cache power — {}", r.benchmark), &entries)
+            format_power_table(&format!("Figure 7: I-cache power — {}", r.workload), &entries)
         );
         let base = r.icache[0].power.total_mw(); // approach [4]
         let ours_2x16 = r.icache[2].power.total_mw();

@@ -36,7 +36,7 @@ fn main() {
         ratios.push(ours / baseline);
         println!(
             "{:<12}  {:>14.2}  {:>14.2}  {:>7.1}%",
-            r.benchmark.name(),
+            r.workload.name(),
             baseline,
             ours,
             saving * 100.0

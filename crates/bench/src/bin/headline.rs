@@ -18,17 +18,14 @@
 use std::time::Instant;
 
 use waymem_bench::json::{store_stats_json, Json};
-use waymem_bench::{geometric_mean, run_suite_serial, run_suite_with_store};
-use waymem_sim::{DScheme, IScheme, SimConfig, TraceStore};
+use waymem_bench::{geometric_mean, run_suite_serial, run_suite_with_store, store_from_env};
+use waymem_sim::{DScheme, IScheme, SimConfig};
 
 fn main() {
     let cfg = SimConfig::default();
     let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
     let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
-    let store = match std::env::var_os("WAYMEM_TRACE_CACHE") {
-        Some(dir) => TraceStore::with_cache_dir(std::path::PathBuf::from(dir)),
-        None => TraceStore::new(),
-    };
+    let store = store_from_env();
 
     let serial_start = Instant::now();
     let serial = run_suite_serial(&cfg, &dschemes, &ischemes).expect("serial suite runs");
@@ -46,10 +43,10 @@ fn main() {
     // The engines must agree exactly (tests pin this; cheap re-check).
     for (a, rest) in serial.iter().zip(results.iter().zip(&warm)) {
         let (b, c) = rest;
-        assert_eq!(a.cycles, b.cycles, "{}: engines disagree", a.benchmark);
-        assert_eq!(a.cycles, c.cycles, "{}: warm replay disagrees", a.benchmark);
+        assert_eq!(a.cycles, b.cycles, "{}: engines disagree", a.workload);
+        assert_eq!(a.cycles, c.cycles, "{}: warm replay disagrees", a.workload);
         for (x, y) in a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache)) {
-            assert_eq!(x.stats, y.stats, "{}/{}: engines disagree", a.benchmark, x.name);
+            assert_eq!(x.stats, y.stats, "{}/{}: engines disagree", a.workload, x.name);
         }
     }
 
@@ -71,7 +68,7 @@ fn main() {
         t_ratios.push(t);
         println!(
             "{:<12}  {:>9.1}%  {:>9.1}%  {:>9.1}%  {:>12}",
-            r.benchmark.name(),
+            r.workload.name(),
             (1.0 - d) * 100.0,
             (1.0 - i) * 100.0,
             (1.0 - t) * 100.0,

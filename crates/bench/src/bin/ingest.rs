@@ -1,0 +1,324 @@
+//! Runs **any** memory trace — ingested Valgrind Lackey / CSV logs and
+//! the built-in synthetic access patterns — through every implemented
+//! lookup scheme (conventional, the paper's way memoization, and all
+//! ablations), printing per-scheme tag/way activations and Eq. (1) power
+//! per workload and exporting the rows into `BENCH_results.json`.
+//!
+//! ```text
+//! cargo run --release -p waymem-bench --bin ingest -- [OPTIONS] [LOG...]
+//!
+//! LOG                  log files; `.csv` parses as the CSV grammar,
+//!                      anything else as Valgrind Lackey --trace-mem=yes
+//! --format lackey|csv  force one grammar for every log
+//! --synth-accesses N   data accesses per synthetic pattern (default 200000)
+//! --no-synth           skip the synthetic pattern suite
+//! --out DIR            write BENCH_results.json there (default: cwd)
+//! ```
+//!
+//! Capture a real program's trace and run it in two commands:
+//!
+//! ```text
+//! valgrind --tool=lackey --trace-mem=yes --log-file=prog.log ./prog
+//! cargo run --release -p waymem-bench --bin ingest -- prog.log
+//! ```
+//!
+//! With `WAYMEM_TRACE_CACHE=<dir>` the parsed/generated traces persist
+//! as `.wmtr` files keyed by content hash / generator spec, and
+//! `WAYMEM_TRACE_CACHE_MAX_BYTES` caps that directory (oldest evicted
+//! first) — ingested logs are exactly where unbounded growth would bite.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use waymem_bench::json::{store_stats_json, Json};
+use waymem_bench::{full_dschemes, full_ischemes, store_from_env};
+use waymem_ingest::{parse, synth, LogFormat};
+use waymem_sim::{
+    run_trace_with_store, FigureRow, SchemeResult, SimConfig, SimResult, WorkloadId,
+};
+
+/// One evaluated workload: where it came from, what ran.
+struct Row {
+    /// Human-readable label for tables and JSON (file name or pattern).
+    label: String,
+    /// Source description for the JSON metadata.
+    source: Json,
+    result: SimResult,
+}
+
+struct Options {
+    logs: Vec<PathBuf>,
+    forced_format: Option<LogFormat>,
+    synth_accesses: u32,
+    run_synth: bool,
+    out_dir: PathBuf,
+}
+
+/// Streams a file through FNV-1a64 in bounded chunks — the workload
+/// identity of an external log, computable without parsing (or holding)
+/// the text.
+fn hash_file(path: &std::path::Path) -> std::io::Result<u64> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut hash = waymem_trace::FNV1A64_SEED;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok(hash);
+        }
+        hash = waymem_trace::fnv1a64_update(hash, &buf[..n]);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ingest [--format lackey|csv] [--synth-accesses N] [--no-synth] [--out DIR] [LOG...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        logs: Vec::new(),
+        forced_format: None,
+        synth_accesses: 200_000,
+        run_synth: true,
+        out_dir: PathBuf::from("."),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                opts.forced_format = match args.next().as_deref() {
+                    Some("lackey") => Some(LogFormat::Lackey),
+                    Some("csv") => Some(LogFormat::Csv),
+                    _ => usage(),
+                }
+            }
+            "--synth-accesses" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.synth_accesses = n,
+                None => usage(),
+            },
+            "--no-synth" => opts.run_synth = false,
+            "--out" => match args.next() {
+                Some(dir) => opts.out_dir = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => usage(),
+            log => opts.logs.push(PathBuf::from(log)),
+        }
+    }
+    opts
+}
+
+fn scheme_json(side: &str, s: &SchemeResult, cycles: u64) -> Json {
+    let st = &s.stats;
+    let p = &s.power;
+    Json::object(vec![
+        ("cache", Json::from(side)),
+        ("scheme", Json::from(s.name.clone())),
+        ("cycles", Json::from(cycles)),
+        ("accesses", Json::from(st.accesses)),
+        ("tag_reads", Json::from(st.tag_reads)),
+        ("way_reads", Json::from(st.way_reads)),
+        ("hits", Json::from(st.hits)),
+        ("misses", Json::from(st.misses)),
+        ("mab_lookups", Json::from(st.mab_lookups)),
+        ("mab_hits", Json::from(st.mab_hits)),
+        ("tags_per_access", Json::from(st.tags_per_access())),
+        ("ways_per_access", Json::from(st.ways_per_access())),
+        ("total_mw", Json::from(p.total_mw())),
+        ("tag_mw", Json::from(p.tag_mw)),
+        ("data_mw", Json::from(p.data_mw)),
+        ("mab_mw", Json::from(p.mab_mw)),
+        ("buffer_mw", Json::from(p.buffer_mw)),
+    ])
+}
+
+fn print_tables(row: &Row) {
+    let r = &row.result;
+    println!(
+        "\n### workload {} ({}) — {} cycles, {} D accesses, {} I accesses",
+        row.label,
+        r.workload,
+        r.cycles,
+        r.dcache.first().map_or(0, |s| s.stats.accesses),
+        r.icache.first().map_or(0, |s| s.stats.accesses),
+    );
+    for (title, side) in [("D-cache", &r.dcache), ("I-cache", &r.icache)] {
+        if side.is_empty() {
+            continue;
+        }
+        let tag_row = FigureRow {
+            label: row.label.clone(),
+            values: side.iter().map(|s| (s.name.clone(), s.stats.tags_per_access())).collect(),
+        };
+        let way_row = FigureRow {
+            label: row.label.clone(),
+            values: side.iter().map(|s| (s.name.clone(), s.stats.ways_per_access())).collect(),
+        };
+        let mw_row = FigureRow {
+            label: row.label.clone(),
+            values: side.iter().map(|s| (s.name.clone(), s.power.total_mw())).collect(),
+        };
+        print!("{}", waymem_sim::format_ratio_table(&format!("{title}: tag reads / access"), &[tag_row]));
+        print!("{}", waymem_sim::format_ratio_table(&format!("{title}: way reads / access"), &[way_row]));
+        print!("{}", waymem_sim::format_ratio_table(&format!("{title}: total power (mW)"), &[mw_row]));
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    if opts.logs.is_empty() && !opts.run_synth {
+        eprintln!("ingest: nothing to do (no logs and --no-synth)");
+        return ExitCode::from(2);
+    }
+    let cfg = SimConfig::default();
+    let dschemes = full_dschemes();
+    let ischemes = full_ischemes();
+    let store = store_from_env();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for path in &opts.logs {
+        let format = opts.forced_format.unwrap_or_else(|| LogFormat::for_path(path));
+        // Hash the raw bytes first: with a warm trace cache the `.wmtr`
+        // disk hit then skips parsing (and the event materialization)
+        // entirely — for a multi-GB capture the parse *is* the cost.
+        let hash = match hash_file(path) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("ingest: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let id = WorkloadId::External { hash };
+        let label = path
+            .file_name()
+            .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+        // (lines, skipped) when this process actually parsed the log.
+        let mut parse_meta: Option<(u64, u64)> = None;
+        let result = run_trace_with_store(id, hash, &cfg, &dschemes, &ischemes, &store, || {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+            let ingested = parse(format, std::io::BufReader::new(file))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            debug_assert_eq!(ingested.source_hash, hash, "streamed hash must match parser's");
+            if ingested.trace.is_empty() {
+                return Err(format!("{}: log contains no accesses", path.display()));
+            }
+            parse_meta = Some((ingested.lines, ingested.skipped));
+            Ok(ingested.trace)
+        });
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ingest: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = store.get(id).expect("store holds the trace it just served");
+        match parse_meta {
+            Some((lines, skipped)) => eprintln!(
+                "ingest: {label}: {lines} lines ({skipped} skipped), {} fetches, {} loads/stores, hash {hash:016x}",
+                trace.fetch_events.len(),
+                trace.data_events.len(),
+            ),
+            None => eprintln!(
+                "ingest: {label}: replayed cached trace ({} fetches, {} loads/stores), hash {hash:016x}",
+                trace.fetch_events.len(),
+                trace.data_events.len(),
+            ),
+        }
+        let mut source = vec![
+            ("kind".to_owned(), Json::from("external")),
+            ("path".to_owned(), Json::from(path.display().to_string())),
+            (
+                "format".to_owned(),
+                Json::from(if format == LogFormat::Csv { "csv" } else { "lackey" }),
+            ),
+            ("content_hash".to_owned(), Json::from(format!("{hash:016x}"))),
+        ];
+        if let Some((lines, skipped)) = parse_meta {
+            source.push(("lines".to_owned(), Json::from(lines)));
+            source.push(("skipped_lines".to_owned(), Json::from(skipped)));
+        }
+        rows.push(Row { label, source: Json::Object(source), result });
+    }
+
+    if opts.run_synth {
+        for spec in synth::standard_suite(opts.synth_accesses) {
+            let id = WorkloadId::Synthetic(spec);
+            let hash = synth::source_hash(spec);
+            let result = run_trace_with_store(id, hash, &cfg, &dschemes, &ischemes, &store, || {
+                Ok::<_, std::convert::Infallible>(synth::generate(spec))
+            })
+            .expect("infallible generator");
+            rows.push(Row {
+                label: id.name(),
+                source: Json::object(vec![
+                    ("kind", Json::from("synthetic")),
+                    ("pattern", Json::from(spec.pattern.token())),
+                    ("accesses", Json::from(spec.accesses)),
+                    ("seed", Json::from(spec.seed)),
+                    ("generator_version", Json::from(synth::GENERATOR_VERSION)),
+                ]),
+                result,
+            });
+        }
+    }
+
+    for row in &rows {
+        print_tables(row);
+    }
+
+    // One JSON row per (workload, cache side, scheme), plus per-workload
+    // metadata — the same machine-readable contract as `export`, keyed
+    // by workload instead of benchmark.
+    let mut json_rows = Vec::new();
+    let mut workloads = Vec::new();
+    for row in &rows {
+        let r = &row.result;
+        workloads.push(Json::object(vec![
+            ("workload", Json::from(row.label.clone())),
+            ("id", Json::from(r.workload.name())),
+            ("cycles", Json::from(r.cycles)),
+            ("source", row.source.clone()),
+        ]));
+        for (side, schemes) in [("D", &r.dcache), ("I", &r.icache)] {
+            for s in schemes.iter() {
+                let mut pairs = vec![("workload".to_owned(), Json::from(row.label.clone()))];
+                if let Json::Object(rest) = scheme_json(side, s, r.cycles) {
+                    pairs.extend(rest);
+                }
+                json_rows.push(Json::Object(pairs));
+            }
+        }
+    }
+    let json = Json::object(vec![
+        ("schema", Json::from("waymem/ingest/v1")),
+        (
+            "geometry",
+            Json::object(vec![
+                ("sets", Json::from(cfg.geometry.sets())),
+                ("ways", Json::from(cfg.geometry.ways())),
+                ("line_bytes", Json::from(cfg.geometry.line_bytes())),
+            ]),
+        ),
+        ("workloads", Json::Array(workloads)),
+        ("trace_store", store_stats_json(&store.stats())),
+        ("rows", Json::Array(json_rows)),
+    ]);
+    let json_path = opts.out_dir.join("BENCH_results.json");
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("ingest: cannot create {}: {e}", opts.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&json_path, format!("{json}\n")) {
+        eprintln!("ingest: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", json_path.display());
+    ExitCode::SUCCESS
+}

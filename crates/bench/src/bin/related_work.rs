@@ -24,7 +24,7 @@ fn main() {
         "benchmark", "original", "intra_line[4]", "link_memo[11]", "ext_btb[12]", "way_memo 2x16"
     );
     for r in &results {
-        print!("{:<12}", r.benchmark.name());
+        print!("{:<12}", r.workload.name());
         for s in &r.icache {
             print!(
                 " {:>11.3} | {:>5.2}",
@@ -43,7 +43,7 @@ fn main() {
         let link = &r.icache[2];
         println!(
             "{:<12} {:>18} {:>22}",
-            r.benchmark.name(),
+            r.workload.name(),
             link.energy.buffer_probes,
             "(replacement scans)"
         );

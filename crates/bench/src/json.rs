@@ -147,11 +147,14 @@ pub fn store_stats_json(stats: &waymem_trace::StoreStats) -> Json {
         ("disk_hits", Json::from(stats.disk_hits)),
         ("records", Json::from(stats.records)),
         ("hit_rate", Json::from(stats.hit_rate())),
+        ("stale", Json::from(stats.stale)),
         ("raw_bytes", Json::from(stats.raw_bytes)),
         ("encoded_bytes", Json::from(stats.encoded_bytes)),
         ("compression_ratio", Json::from(stats.compression_ratio())),
         ("files_saved", Json::from(stats.files_saved)),
         ("files_loaded", Json::from(stats.files_loaded)),
+        ("files_evicted", Json::from(stats.files_evicted)),
+        ("bytes_evicted", Json::from(stats.bytes_evicted)),
     ])
 }
 
@@ -162,7 +165,16 @@ mod tests {
     #[test]
     fn store_stats_serialize_with_stable_keys() {
         let rendered = store_stats_json(&waymem_trace::StoreStats::default()).to_string();
-        for key in ["lookups", "records", "hit_rate", "compression_ratio", "encoded_bytes"] {
+        for key in [
+            "lookups",
+            "records",
+            "hit_rate",
+            "stale",
+            "compression_ratio",
+            "encoded_bytes",
+            "files_evicted",
+            "bytes_evicted",
+        ] {
             assert!(rendered.contains(&format!("\"{key}\":")), "missing {key} in {rendered}");
         }
     }

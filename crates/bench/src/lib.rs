@@ -18,16 +18,18 @@
 //! | `consistency` | §3.3 LRU-consistency audit (unsound-hit counts)    |
 //! | `assoc_sweep` | MAB payoff vs associativity (1–16 way) + scaled stress |
 //! | `export`   | full results as CSV + `BENCH_results.json`             |
+//! | `ingest`   | any external/synthetic trace through every scheme      |
 //!
 //! Run any of them with `cargo run --release -p waymem-bench --bin <name>`.
 //! The library part of this crate holds the shared sweep drivers — the
 //! parallel [`run_suite`], the store-backed [`run_suite_with_store`]
 //! the multi-config bins thread one [`TraceStore`] through, and the
 //! legacy [`run_suite_serial`] both are benchmarked against (see
-//! `benches/replay.rs` and `benches/trace_store.rs`) — plus the tiny
-//! [`json`] writer behind the `BENCH_*.json` exports, so the binaries
-//! stay tiny and the integration tests can assert on the same structured
-//! data the binaries print.
+//! `benches/replay.rs` and `benches/trace_store.rs`) — plus the full
+//! scheme lists ([`full_dschemes`]/[`full_ischemes`]), the env-wired
+//! [`store_from_env`], and the tiny [`json`] writer behind the
+//! `BENCH_*.json` exports, so the binaries stay tiny and the integration
+//! tests can assert on the same structured data the binaries print.
 
 use waymem_sim::{
     run_benchmark, run_benchmark_fanout, run_benchmark_with_store, DScheme, IScheme, RunError,
@@ -69,6 +71,65 @@ pub fn fig6_ischemes() -> Vec<IScheme> {
             set_entries: 32,
         },
     ]
+}
+
+/// Every implemented D-cache lookup scheme — conventional, the paper's
+/// way memoization, and all ablations — in presentation order. The
+/// `export` and `ingest` bins run this full comparison so their JSON
+/// rows cover the whole design space.
+#[must_use]
+pub fn full_dschemes() -> Vec<DScheme> {
+    vec![
+        DScheme::Original,
+        DScheme::SetBuffer { entries: 1 },
+        DScheme::FilterCache { lines: 4 },
+        DScheme::WayPredict,
+        DScheme::TwoPhase,
+        DScheme::paper_way_memo(),
+        DScheme::WayMemoLineBuffer {
+            tag_entries: 2,
+            set_entries: 8,
+            line_entries: 2,
+        },
+    ]
+}
+
+/// Every implemented I-cache lookup scheme, in presentation order; the
+/// I-side counterpart of [`full_dschemes`].
+#[must_use]
+pub fn full_ischemes() -> Vec<IScheme> {
+    vec![
+        IScheme::Original,
+        IScheme::IntraLine,
+        IScheme::LinkMemo,
+        IScheme::ExtendedBtb { entries: 32 },
+        IScheme::WayMemo {
+            tag_entries: 2,
+            set_entries: 8,
+        },
+        IScheme::WayMemo {
+            tag_entries: 2,
+            set_entries: 16,
+        },
+        IScheme::WayMemo {
+            tag_entries: 2,
+            set_entries: 32,
+        },
+    ]
+}
+
+/// The per-process [`TraceStore`] the bench binaries share, wired from
+/// the environment: `WAYMEM_TRACE_CACHE=<dir>` enables persistence,
+/// `WAYMEM_TRACE_CACHE_MAX_BYTES=<n>` caps the directory with
+/// oldest-mtime eviction. Unset variables mean a memory-only store /
+/// no cap.
+#[must_use]
+pub fn store_from_env() -> TraceStore {
+    match std::env::var_os("WAYMEM_TRACE_CACHE") {
+        Some(dir) => TraceStore::with_cache_dir(std::path::PathBuf::from(dir))
+            .with_cache_limit(TraceStore::cache_cap_from_env()),
+        None => TraceStore::new(),
+    }
 }
 
 /// Runs all seven benchmarks under the given schemes, fanning the

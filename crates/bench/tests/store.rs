@@ -18,16 +18,16 @@ fn schemes() -> (Vec<DScheme>, Vec<IScheme>) {
 fn assert_same_results(a: &[SimResult], b: &[SimResult]) {
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(b) {
-        assert_eq!(x.benchmark, y.benchmark);
-        assert_eq!(x.cycles, y.cycles, "{}: cycles differ", x.benchmark);
+        assert_eq!(x.workload, y.workload);
+        assert_eq!(x.cycles, y.cycles, "{}: cycles differ", x.workload);
         for (p, q) in x.dcache.iter().zip(&y.dcache).chain(x.icache.iter().zip(&y.icache)) {
             assert_eq!(p.name, q.name);
-            assert_eq!(p.stats, q.stats, "{}/{}: stats differ", x.benchmark, p.name);
+            assert_eq!(p.stats, q.stats, "{}/{}: stats differ", x.workload, p.name);
             assert_eq!(
                 p.power.total_mw().to_bits(),
                 q.power.total_mw().to_bits(),
                 "{}/{}: power differs",
-                x.benchmark,
+                x.workload,
                 p.name
             );
         }

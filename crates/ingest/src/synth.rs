@@ -1,0 +1,323 @@
+//! Parameterized synthetic access-pattern generators.
+//!
+//! The seven paper kernels cluster in a fairly friendly locality band —
+//! blocked loops, small working sets. These generators fabricate
+//! [`RecordedTrace`]s covering the regimes they miss, so the MAB (and
+//! every ablation) can be measured where memoization is hostile, neutral
+//! and ideal:
+//!
+//! * [`SynthPattern::Stream`] — pure sequential streaming, zero reuse:
+//!   the worst case for any memoization structure;
+//! * [`SynthPattern::Strided`] — fixed-stride walks over a wrapping
+//!   1 MiB region: set-conflict traffic at a controllable rate;
+//! * [`SynthPattern::PointerChase`] — a dependent chase over a shuffled
+//!   node cycle (64 B apart): no spatial locality, perfect per-node
+//!   temporal recurrence once the cycle wraps;
+//! * [`SynthPattern::ZipfHotSet`] — a zipf-like skewed working set:
+//!   ~90 % of accesses in a few hot lines, the rest scattered cold —
+//!   the MAB's best case.
+//!
+//! Generation is **deterministic**: equal [`SynthSpec`]s produce
+//! bit-identical traces (an xorshift32 stream seeded from the spec), so
+//! the [`TraceStore`](waymem_trace::TraceStore) can cache them like any
+//! other workload, keyed by the spec itself and fingerprinted by
+//! [`source_hash`] (which folds in [`GENERATOR_VERSION`], so improving a
+//! generator invalidates stale cached traces instead of replaying them).
+//!
+//! Every pattern drives its data stream from a modelled inner loop on
+//! the fetch side — four sequential instructions then a backward branch
+//! per access, the shape that dominates real kernels — so I-side schemes
+//! see a realistic packet stream too.
+
+use waymem_isa::RecordedTrace;
+use waymem_trace::{fnv1a64, SynthPattern, SynthSpec, WorkloadId};
+
+use crate::{Op, TraceBuilder};
+
+/// Bumped whenever any generator's output changes for the same spec, so
+/// cached traces from older generators read as stale, not current.
+pub const GENERATOR_VERSION: u32 = 1;
+
+/// Where the data region starts. Arbitrary but stable: changing it would
+/// change every generated trace (and [`GENERATOR_VERSION`] would bump).
+const DATA_BASE: u32 = 0x1000_0000;
+
+/// Where the cold scatter region of [`SynthPattern::ZipfHotSet`] starts.
+const COLD_BASE: u32 = 0x2000_0000;
+
+/// The modelled inner loop sits here in the instruction space.
+const LOOP_BASE: u32 = 0x0040_0000;
+
+/// Instructions per modelled loop iteration (one data access each).
+const LOOP_BODY: u32 = 4;
+
+/// Pointer-chase node spacing: one 64-B line apart kills spatial reuse.
+const NODE_STRIDE: u32 = 64;
+
+/// Upper bound on pointer-chase cycle length, so a hostile spec cannot
+/// demand an unbounded shuffle table (2^20 nodes ≈ 4 MiB of table).
+const MAX_CHASE_NODES: u32 = 1 << 20;
+
+/// The wrap region for strided walks: 1 MiB, comfortably larger than any
+/// simulated cache.
+const STRIDE_REGION: u32 = 1 << 20;
+
+/// Deterministic xorshift32 — the same tiny RNG family the workload
+/// generators use; private copy so this crate's output never shifts
+/// under a neighbour's refactor.
+struct XorShift32(u32);
+
+impl XorShift32 {
+    fn new(seed: u32) -> Self {
+        // Zero is xorshift's fixed point; nudge it off.
+        XorShift32(seed.max(1))
+    }
+
+    fn next(&mut self) -> u32 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u32) -> u32 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// The spec's staleness fingerprint: FNV-1a64 over a canonical rendering
+/// that folds in [`GENERATOR_VERSION`]. Stored in the `.wmtr` header so
+/// a cache file produced by an older generator re-generates instead of
+/// silently replaying.
+#[must_use]
+pub fn source_hash(spec: SynthSpec) -> u64 {
+    let canonical = format!(
+        "waymem-synth/v{GENERATOR_VERSION}/{}",
+        WorkloadId::Synthetic(spec).file_name()
+    );
+    fnv1a64(canonical.as_bytes())
+}
+
+/// The four-pattern suite the `ingest` bench bin runs alongside any
+/// ingested logs: one spec per locality regime, all at `accesses` data
+/// accesses with a fixed seed (determinism across hosts).
+#[must_use]
+pub fn standard_suite(accesses: u32) -> Vec<SynthSpec> {
+    [
+        SynthPattern::Stream,
+        SynthPattern::Strided { stride: 64 },
+        SynthPattern::PointerChase { nodes: 4096 },
+        SynthPattern::ZipfHotSet { hot_lines: 64 },
+    ]
+    .into_iter()
+    .map(|pattern| SynthSpec { pattern, accesses, seed: 1 })
+    .collect()
+}
+
+/// A single random cycle over `0..nodes` (Sattolo's algorithm): exactly
+/// one orbit, so a chase visits every node before repeating.
+fn chase_cycle(nodes: u32, rng: &mut XorShift32) -> Vec<u32> {
+    let n = nodes.clamp(1, MAX_CHASE_NODES) as usize;
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut i = n;
+    while i > 1 {
+        i -= 1;
+        let j = rng.below(i as u32) as usize; // j < i: Sattolo, not Fisher-Yates
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Fabricates the trace a spec describes. Deterministic: equal specs
+/// yield bit-identical traces. Memory scales with `spec.accesses`
+/// (events are materialized, like any recorded trace).
+#[must_use]
+pub fn generate(spec: SynthSpec) -> RecordedTrace {
+    let mut rng = XorShift32::new(spec.seed ^ 0x9e37_79b9);
+    let mut builder = TraceBuilder::new();
+    let mut chase = match spec.pattern {
+        SynthPattern::PointerChase { nodes } => {
+            let cycle = chase_cycle(nodes, &mut rng);
+            Some((cycle, 0u32))
+        }
+        _ => None,
+    };
+    for i in 0..spec.accesses {
+        // The modelled loop: LOOP_BODY sequential fetches; the next
+        // iteration's first fetch is then inferred as the backward
+        // branch, giving I-side schemes the recurrence real loops have.
+        for k in 0..LOOP_BODY {
+            builder.push(Op::Instr, u64::from(LOOP_BASE + 4 * k), 4);
+        }
+        let (op, addr) = match spec.pattern {
+            SynthPattern::Stream => {
+                // Streaming copy flavour: three sequential loads, then a
+                // sequential store to a parallel output region.
+                let addr = DATA_BASE.wrapping_add(4 * i);
+                let op = if i % 4 == 3 { Op::Store } else { Op::Load };
+                (op, addr)
+            }
+            SynthPattern::Strided { stride } => {
+                let offset = (u64::from(i) * u64::from(stride.max(1))) % u64::from(STRIDE_REGION);
+                (Op::Load, DATA_BASE + offset as u32)
+            }
+            SynthPattern::PointerChase { .. } => {
+                let (cycle, cur) = chase.as_mut().expect("chase state initialized");
+                let addr = DATA_BASE + *cur * NODE_STRIDE;
+                *cur = cycle[*cur as usize];
+                (Op::Load, addr)
+            }
+            SynthPattern::ZipfHotSet { hot_lines } => {
+                let lines = hot_lines.max(1);
+                if rng.below(10) < 9 {
+                    // Hot: rank skewed toward line 0 (min of two uniform
+                    // draws — a simple zipf-like bias), random word.
+                    let rank = rng.below(lines).min(rng.below(lines));
+                    let word = rng.below(8);
+                    let op = if rng.below(8) == 0 { Op::Store } else { Op::Load };
+                    (op, DATA_BASE + rank * 32 + word * 4)
+                } else {
+                    // Cold: uniform scatter over 4 MiB.
+                    (Op::Load, COLD_BASE + rng.below(1 << 20) * 4)
+                }
+            }
+        };
+        builder.push(op, u64::from(addr), 4);
+    }
+    builder.finish().trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waymem_isa::{FetchKind, TraceEvent};
+
+    fn spec(pattern: SynthPattern) -> SynthSpec {
+        SynthSpec { pattern, accesses: 1000, seed: 1 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for s in standard_suite(500) {
+            assert_eq!(generate(s), generate(s), "{:?}", s.pattern);
+        }
+    }
+
+    #[test]
+    fn seeds_change_randomized_patterns() {
+        let a = generate(SynthSpec { pattern: SynthPattern::ZipfHotSet { hot_lines: 64 }, accesses: 1000, seed: 1 });
+        let b = generate(SynthSpec { pattern: SynthPattern::ZipfHotSet { hot_lines: 64 }, accesses: 1000, seed: 2 });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_pattern_produces_the_requested_accesses() {
+        for s in standard_suite(1000) {
+            let t = generate(s);
+            assert_eq!(t.data_events.len(), 1000, "{:?}", s.pattern);
+            assert_eq!(t.fetch_events.len(), 4000, "{:?}", s.pattern);
+            assert_eq!(t.cycles, 4000, "{:?}", s.pattern);
+        }
+    }
+
+    #[test]
+    fn stream_is_sequential() {
+        let t = generate(spec(SynthPattern::Stream));
+        let addrs: Vec<u32> = t.data_events.iter().map(|e| e.primary_addr()).collect();
+        assert!(addrs.windows(2).all(|w| w[1] == w[0] + 4));
+    }
+
+    #[test]
+    fn strided_walk_wraps_the_region() {
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::Strided { stride: STRIDE_REGION / 4 },
+            accesses: 16,
+            seed: 1,
+        });
+        let addrs: Vec<u32> = t.data_events.iter().map(|e| e.primary_addr()).collect();
+        assert_eq!(addrs[0], DATA_BASE);
+        assert_eq!(addrs[4], DATA_BASE, "stride of region/4 must wrap every 4 accesses");
+        assert!(addrs.iter().all(|&a| a < DATA_BASE + STRIDE_REGION));
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_node_once_per_lap() {
+        let nodes = 64;
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::PointerChase { nodes },
+            accesses: nodes * 2,
+            seed: 3,
+        });
+        let addrs: Vec<u32> = t.data_events.iter().map(|e| e.primary_addr()).collect();
+        let mut first_lap: Vec<u32> = addrs[..nodes as usize].to_vec();
+        first_lap.sort_unstable();
+        first_lap.dedup();
+        assert_eq!(first_lap.len(), nodes as usize, "one full orbit before repeating");
+        // Second lap repeats the first exactly (it is a cycle).
+        assert_eq!(&addrs[..nodes as usize], &addrs[nodes as usize..]);
+    }
+
+    #[test]
+    fn zipf_concentrates_in_the_hot_set() {
+        let t = generate(spec(SynthPattern::ZipfHotSet { hot_lines: 64 }));
+        let hot = t
+            .data_events
+            .iter()
+            .filter(|e| e.primary_addr() < DATA_BASE + 64 * 32)
+            .count();
+        let frac = hot as f64 / t.data_events.len() as f64;
+        assert!(frac > 0.8, "hot fraction {frac}");
+        assert!(frac < 1.0, "some cold scatter must remain");
+    }
+
+    #[test]
+    fn fetch_stream_models_a_loop() {
+        let t = generate(spec(SynthPattern::Stream));
+        // First iteration: all sequential. Second iteration opens with
+        // the inferred backward branch from the loop's last instruction.
+        assert!(matches!(t.fetch_events[0], TraceEvent::Fetch { kind: FetchKind::Sequential, .. }));
+        assert!(matches!(
+            t.fetch_events[4],
+            TraceEvent::Fetch {
+                pc,
+                kind: FetchKind::TakenBranch { base, .. }
+            } if pc == LOOP_BASE && base == LOOP_BASE + 4 * (LOOP_BODY - 1)
+        ));
+    }
+
+    #[test]
+    fn source_hash_distinguishes_specs_and_versions() {
+        let a = source_hash(spec(SynthPattern::Stream));
+        let b = source_hash(spec(SynthPattern::Strided { stride: 64 }));
+        let c = source_hash(SynthSpec { pattern: SynthPattern::Stream, accesses: 1000, seed: 2 });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn hostile_specs_stay_bounded() {
+        // A huge node count clamps the shuffle table; the access count
+        // still rules the trace size.
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::PointerChase { nodes: u32::MAX },
+            accesses: 10,
+            seed: 1,
+        });
+        assert_eq!(t.data_events.len(), 10);
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::Strided { stride: 0 },
+            accesses: 10,
+            seed: 1,
+        });
+        assert_eq!(t.data_events.len(), 10);
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::ZipfHotSet { hot_lines: 0 },
+            accesses: 10,
+            seed: 1,
+        });
+        assert_eq!(t.data_events.len(), 10);
+    }
+}

@@ -1,0 +1,36 @@
+//! Pins the committed fixture log — the same file the CI end-to-end step
+//! feeds the `ingest` bench bin — to its parsed shape, so a parser
+//! regression shows up here before it shows up as a CI JSON diff.
+
+use waymem_ingest::parse_path;
+use waymem_isa::TraceEvent;
+
+#[test]
+fn the_committed_fixture_parses_to_a_stable_shape() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/lackey_small.log");
+    let ing = parse_path(path).expect("fixture parses");
+    assert_eq!(ing.lines, 1754);
+    assert_eq!(ing.skipped, 7, "valgrind banner/trailer lines");
+    assert!(!ing.trace.is_empty());
+    assert_ne!(ing.source_hash, 0);
+
+    let loads = ing
+        .trace
+        .data_events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Load { .. }))
+        .count();
+    let stores = ing.trace.data_events.len() - loads;
+    // The fixture models a blocked image blur: 2 loads + 1 store per
+    // pixel (M pixels contribute one of each), plus prologue/epilogue
+    // stack traffic.
+    assert_eq!(ing.trace.fetch_events.len(), 1167);
+    assert_eq!(loads, 2 * 192 + 64 + 2);
+    assert_eq!(stores, 192 + 2);
+    assert_eq!(ing.trace.cycles, ing.trace.fetch_events.len() as u64);
+
+    // Parsing the same bytes twice is bit-identical (the CI warm-cache
+    // invariant depends on this).
+    let again = parse_path(path).expect("fixture parses");
+    assert_eq!(ing, again);
+}

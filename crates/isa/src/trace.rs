@@ -76,6 +76,23 @@ impl TraceEvent {
         }
     }
 
+    /// A load at a raw effective address with no architectural
+    /// base/displacement provenance: `base = addr`, `disp = 0`. This is
+    /// the canonical encoding for events reconstructed from external
+    /// sources (ingested logs, synthetic generators) that only know the
+    /// address — the D-MAB then memoizes per effective address, the only
+    /// sound key such a source supports.
+    #[must_use]
+    pub fn load_at(addr: u32, size: u8) -> Self {
+        TraceEvent::Load { base: addr, disp: 0, addr, size }
+    }
+
+    /// A store at a raw effective address; see
+    /// [`load_at`](Self::load_at) for the base/displacement convention.
+    #[must_use]
+    pub fn store_at(addr: u32, size: u8) -> Self {
+        TraceEvent::Store { base: addr, disp: 0, addr, size }
+    }
 }
 
 /// A benchmark's recorded trace, split into the two streams the two
@@ -290,6 +307,18 @@ impl TraceSink for RecordingSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_address_constructors_set_base_to_addr() {
+        assert_eq!(
+            TraceEvent::load_at(0x1234, 4),
+            TraceEvent::Load { base: 0x1234, disp: 0, addr: 0x1234, size: 4 }
+        );
+        assert_eq!(
+            TraceEvent::store_at(0xffff_fffc, 2),
+            TraceEvent::Store { base: 0xffff_fffc, disp: 0, addr: 0xffff_fffc, size: 2 }
+        );
+    }
 
     #[test]
     fn counting_sink_counts() {

@@ -77,9 +77,11 @@ pub mod run;
 pub use frontends::{DFront, DScheme, IFront, IScheme};
 pub use report::{format_power_table, format_ratio_table, FigureRow};
 pub use run::{
-    record_trace, replay_trace, run_benchmark, run_benchmark_fanout, run_benchmark_with_store,
-    RecordedTrace, RunError, SchemeResult, SimConfig, SimResult,
+    kernel_source_hash, record_trace, replay_trace, run_benchmark, run_benchmark_fanout,
+    run_benchmark_with_store, run_trace, run_trace_with_store, RecordedTrace, RunError,
+    SchemeResult, SimConfig, SimResult,
 };
-// The store a sweep threads through `run_benchmark_with_store`, re-exported
-// so driver-level callers need not name `waymem-trace` themselves.
-pub use waymem_trace::{StoreStats, TraceStore};
+// The store a sweep threads through `run_benchmark_with_store` and the
+// workload-identity types `run_trace` speaks, re-exported so
+// driver-level callers need not name `waymem-trace` themselves.
+pub use waymem_trace::{StoreStats, SynthPattern, SynthSpec, TraceStore, WorkloadId};

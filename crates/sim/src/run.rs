@@ -23,7 +23,7 @@ use waymem_hwmodel::{
     cache_energies, mab_power_mw, CacheShape, EnergyCounts, PowerBreakdown, Technology,
 };
 use waymem_isa::{AsmError, Cpu, CpuError, FetchKind, RecordingSink, TraceEvent, TraceSink};
-use waymem_trace::TraceStore;
+use waymem_trace::{fnv1a64, TraceStore, WorkloadId};
 use waymem_workloads::Benchmark;
 
 use crate::{DFront, DScheme, IFront, IScheme};
@@ -112,11 +112,12 @@ pub struct SchemeResult {
     pub extra_cycles: u64,
 }
 
-/// Outcome of one benchmark under several schemes.
+/// Outcome of one workload under several schemes.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// The benchmark that ran.
-    pub benchmark: Benchmark,
+    /// The workload that ran: a built-in kernel, an ingested external
+    /// trace, or a synthetic pattern.
+    pub workload: WorkloadId,
     /// Instructions retired (= cycles at CPI 1).
     pub cycles: u64,
     /// D-cache results, in the order the schemes were given.
@@ -299,9 +300,27 @@ fn replay_in_parallel(front_count: usize) -> bool {
         && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
 }
 
-/// Replays an already-recorded trace through every requested scheme's
-/// front-end on scoped worker threads (inline when the host is
-/// single-core — see [`replay_in_parallel`]).
+/// Replays an already-recorded trace of the kernel `bench` through every
+/// requested scheme's front-end. Equivalent to [`run_trace`] with a
+/// [`WorkloadId::Kernel`] built from `bench` and `cfg.scale`; kept as the
+/// kernel-flavoured entry point benches and tests predate.
+#[must_use]
+pub fn replay_trace(
+    bench: Benchmark,
+    trace: &RecordedTrace,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+) -> SimResult {
+    run_trace(WorkloadId::kernel(bench, cfg.scale), trace, cfg, dschemes, ischemes)
+}
+
+/// Evaluates **any** recorded trace — a built-in kernel's, an ingested
+/// external log's, a synthetic generator's — across every requested
+/// scheme's front-end on scoped worker threads (inline when the host is
+/// single-core — see [`replay_in_parallel`]). This is the general entry
+/// point the ingest subsystem drives; the kernel runners are thin
+/// wrappers over it.
 ///
 /// The fan-out is bounded: schemes are chunked across at most
 /// [`std::thread::available_parallelism`] workers, each replaying its
@@ -312,8 +331,8 @@ fn replay_in_parallel(front_count: usize) -> bool {
 /// event slice independently, so the numbers are bit-identical to a
 /// serial replay (pinned by `tests/determinism.rs`).
 #[must_use]
-pub fn replay_trace(
-    bench: Benchmark,
+pub fn run_trace(
+    workload: WorkloadId,
     trace: &RecordedTrace,
     cfg: &SimConfig,
     dschemes: &[DScheme],
@@ -383,7 +402,7 @@ pub fn replay_trace(
     };
     let energies = run_energies(cfg);
     SimResult {
-        benchmark: bench,
+        workload,
         cycles: trace.cycles,
         dcache: dfronts
             .iter()
@@ -425,13 +444,43 @@ pub fn run_benchmark(
     Ok(replay_trace(bench, &trace, cfg, dschemes, ischemes))
 }
 
+/// The FNV-1a64 of the kernel's generated assembly source at `scale` —
+/// the staleness fingerprint stored traces of built-in kernels carry.
+/// A workload-generator change alters the source text, so warm cache
+/// files from before the change stop matching and are re-recorded
+/// instead of silently replayed.
+///
+/// Memoized per `(benchmark, scale)` for the process lifetime: sweeps
+/// call the store-backed runners hundreds of times per configuration,
+/// and regenerating a kernel's full source (synthetic input frames
+/// included) per call just to re-derive a constant would dwarf the
+/// lookup it guards. Kernel generators are pure, so the hash cannot go
+/// stale within a process.
+#[must_use]
+pub fn kernel_source_hash(bench: Benchmark, scale: u32) -> u64 {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<(Benchmark, u32), u64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    if let Some(&hash) = cache.lock().expect("hash cache poisoned").get(&(bench, scale)) {
+        return hash;
+    }
+    // Generate outside the lock: source generation is the expensive
+    // part, and a racing thread at worst recomputes the same value.
+    let hash = fnv1a64(bench.source(scale).as_bytes());
+    cache.lock().expect("hash cache poisoned").insert((bench, scale), hash);
+    hash
+}
+
 /// Like [`run_benchmark`], but sourcing the recorded trace from a shared
 /// [`TraceStore`]: the benchmark is interpreted only on the store's first
-/// miss for `(bench, cfg.scale)` — every later call (any geometry, any
+/// miss for its [`WorkloadId`] — every later call (any geometry, any
 /// scheme set, any thread) replays the cached stream. This is the entry
 /// point multi-config sweeps thread one store through; with a
 /// persistent store (cache dir) even the first call may skip
-/// interpretation.
+/// interpretation. Cached copies are verified against
+/// [`kernel_source_hash`], so a stale file (changed kernel generator) is
+/// re-recorded, not replayed.
 ///
 /// Replay always goes through the record/replay engine here — with the
 /// trace already in hand, the fanout path's "skip materialization"
@@ -449,8 +498,40 @@ pub fn run_benchmark_with_store(
     ischemes: &[IScheme],
     store: &TraceStore,
 ) -> Result<SimResult, RunError> {
-    let trace = store.get_or_record(bench, cfg.scale, || record_trace(bench, cfg))?;
-    Ok(replay_trace(bench, &trace, cfg, dschemes, ischemes))
+    run_trace_with_store(
+        WorkloadId::kernel(bench, cfg.scale),
+        kernel_source_hash(bench, cfg.scale),
+        cfg,
+        dschemes,
+        ischemes,
+        store,
+        || record_trace(bench, cfg),
+    )
+}
+
+/// The fully general store-backed runner: evaluates the workload `id`
+/// across all requested schemes, producing its trace at most once per
+/// store lifetime via `record` — the CPU interpreter for kernels, a log
+/// parser for external traces, a generator for synthetic patterns.
+/// `source_hash` (FNV-1a64 of whatever `record` consumes; 0 = skip
+/// verification) guards against stale cache files.
+///
+/// # Errors
+///
+/// Propagates `record`'s error; nothing is cached in that case, so a
+/// later call retries.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trace_with_store<E>(
+    id: WorkloadId,
+    source_hash: u64,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+    store: &TraceStore,
+    record: impl FnOnce() -> Result<RecordedTrace, E>,
+) -> Result<SimResult, E> {
+    let trace = store.get_or_record(id, source_hash, record)?;
+    Ok(run_trace(id, &trace, cfg, dschemes, ischemes))
 }
 
 /// The pre-record/replay driver: one CPU run with every front-end fed
@@ -483,7 +564,7 @@ pub fn run_benchmark_fanout(
     let cycles = cpu.instret();
     let energies = run_energies(cfg);
     Ok(SimResult {
-        benchmark: bench,
+        workload: WorkloadId::kernel(bench, cfg.scale),
         cycles,
         dcache: sink
             .dfronts
@@ -568,7 +649,7 @@ mod tests {
 
     /// Structural equality of two results down to f64 bits.
     fn assert_results_identical(a: &SimResult, b: &SimResult) {
-        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.workload, b.workload);
         assert_eq!(a.cycles, b.cycles);
         let pairs = a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache));
         for (x, y) in pairs {
@@ -668,6 +749,70 @@ mod tests {
         assert_eq!(second.cycles, first.cycles, "same trace, same cycles");
         let s = store.stats();
         assert_eq!((s.lookups, s.records, s.hits), (2, 1, 1));
+    }
+
+    #[test]
+    fn run_trace_evaluates_foreign_workloads() {
+        // A hand-built trace with no kernel behind it — the ingest
+        // subsystem's shape — must flow through the same engine and
+        // produce consistent per-scheme accounting.
+        let cfg = SimConfig::default();
+        let (d, i) = paper_schemes();
+        let trace = RecordedTrace {
+            fetch_events: (0..2000)
+                .map(|k| TraceEvent::Fetch { pc: 0x1000 + 4 * k, kind: FetchKind::Sequential })
+                .collect(),
+            data_events: (0..500)
+                .map(|k| TraceEvent::Load {
+                    base: 0x8000 + 8 * k,
+                    disp: 0,
+                    addr: 0x8000 + 8 * k,
+                    size: 4,
+                })
+                .collect(),
+            cycles: 2000,
+        };
+        let id = WorkloadId::External { hash: 0xabcd };
+        let r = run_trace(id, &trace, &cfg, &d, &i);
+        assert_eq!(r.workload, id);
+        assert_eq!(r.cycles, 2000);
+        for s in r.dcache.iter().chain(r.icache.iter()) {
+            assert!(s.stats.is_consistent(), "{}", s.name);
+            assert!(s.stats.accesses > 0, "{}", s.name);
+            assert!(s.power.total_mw() > 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn run_trace_with_store_produces_once_and_verifies_hash() {
+        let cfg = SimConfig::default();
+        let (d, i) = paper_schemes();
+        let id = WorkloadId::External { hash: 77 };
+        let store = TraceStore::new();
+        let mut productions = 0;
+        let trace = RecordedTrace {
+            fetch_events: vec![TraceEvent::Fetch { pc: 0, kind: FetchKind::Sequential }],
+            data_events: vec![TraceEvent::Load { base: 0, disp: 0, addr: 0, size: 4 }],
+            cycles: 1,
+        };
+        for _ in 0..2 {
+            let r = run_trace_with_store(id, 77, &cfg, &d, &i, &store, || {
+                productions += 1;
+                Ok::<_, ()>(trace.clone())
+            })
+            .expect("runs");
+            assert_eq!(r.workload, id);
+        }
+        assert_eq!(productions, 1, "second run must hit the store");
+    }
+
+    #[test]
+    fn kernel_source_hash_is_stable_and_scale_sensitive() {
+        let h1 = kernel_source_hash(Benchmark::Dct, 1);
+        assert_eq!(h1, kernel_source_hash(Benchmark::Dct, 1));
+        assert_ne!(h1, kernel_source_hash(Benchmark::Dct, 2));
+        assert_ne!(h1, kernel_source_hash(Benchmark::Fft, 1));
+        assert_ne!(h1, 0, "hash 0 means 'unverified' and must not collide");
     }
 
     #[test]

@@ -19,26 +19,35 @@
 //! * **split sections** — the fetch and data streams are encoded
 //!   back-to-back but independently, so a streaming consumer can replay
 //!   one family without touching the other;
-//! * **versioned header + checksum** — a fixed 48-byte header (magic,
-//!   version, event counts, cycles, section lengths) and a trailing
-//!   FNV-1a 32-bit checksum over everything after the magic, so a
-//!   corrupt or truncated file is always an `Err`, never garbage data.
+//! * **versioned header + checksum** — a fixed 56-byte header (magic,
+//!   version, event counts, cycles, source hash, section lengths) and a
+//!   trailing FNV-1a 32-bit checksum over everything after the magic, so
+//!   a corrupt or truncated file is always an `Err`, never garbage data.
 //!
-//! ## Wire layout
+//! ## Wire layout (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic "WMTR"
-//! 4       2     format version (little-endian u16, currently 1)
+//! 4       2     format version (little-endian u16, currently 2)
 //! 6       2     flags (reserved, 0)
 //! 8       8     fetch-event count (u64)
 //! 16      8     data-event count (u64)
 //! 24      8     cycles (u64)
 //! 32      8     fetch-section byte length (u64)
 //! 40      8     data-section byte length (u64)
-//! 48      …     fetch section, then data section
+//! 48      8     source hash (FNV-1a64 of the workload source; 0 = none)
+//! 56      …     fetch section, then data section
 //! end−4   4     FNV-1a32 checksum of bytes [4, end−4)
 //! ```
+//!
+//! Version 1 (PR 3) is the same layout without the source-hash field
+//! (sections start at offset 48). V1 buffers still **decode** — existing
+//! cache files stay readable — but the encoder only writes v2: the source
+//! hash is what lets the [`TraceStore`](crate::TraceStore) tell a *stale*
+//! cache file (same key, changed kernel source / changed input log) from
+//! a current one, closing the staleness hole corruption checksums cannot
+//! see.
 //!
 //! Every event starts with a one-byte tag (`0..=3` the four
 //! [`FetchKind`]s, `4` load, `5` store) followed by its varint fields.
@@ -51,11 +60,20 @@ use waymem_isa::{FetchKind, RecordedTrace, RecordingSink, TraceEvent, TraceSink}
 /// The four magic bytes every `.wmtr` buffer starts with.
 pub const MAGIC: [u8; 4] = *b"WMTR";
 
-/// The format version this build encodes and the only one it decodes.
-pub const FORMAT_VERSION: u16 = 1;
+/// The format version this build encodes. Decoding accepts this and
+/// [`FORMAT_VERSION_V1`].
+pub const FORMAT_VERSION: u16 = 2;
 
-/// Fixed header length in bytes (the payload starts here).
-pub const HEADER_LEN: usize = 48;
+/// The PR 3 format version: no source-hash field. Decoded read-only —
+/// the encoder never writes it.
+pub const FORMAT_VERSION_V1: u16 = 1;
+
+/// Fixed header length of the current format, in bytes (the payload
+/// starts here).
+pub const HEADER_LEN: usize = 56;
+
+/// Header length of a version-1 buffer (no source-hash field).
+pub const HEADER_LEN_V1: usize = 48;
 
 /// Trailing checksum length in bytes.
 const TRAILER_LEN: usize = 4;
@@ -80,7 +98,8 @@ pub enum CodecError {
     Truncated,
     /// The first four bytes are not [`MAGIC`].
     BadMagic([u8; 4]),
-    /// The header's version is not [`FORMAT_VERSION`].
+    /// The header's version is neither [`FORMAT_VERSION`] nor
+    /// [`FORMAT_VERSION_V1`].
     UnsupportedVersion(u16),
     /// The buffer length disagrees with the header's section lengths.
     LengthMismatch {
@@ -116,7 +135,10 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "trace buffer truncated"),
             CodecError::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected \"WMTR\")"),
             CodecError::UnsupportedVersion(v) => {
-                write!(f, "unsupported trace format version {v} (expected {FORMAT_VERSION})")
+                write!(
+                    f,
+                    "unsupported trace format version {v} (expected {FORMAT_VERSION_V1} or {FORMAT_VERSION})"
+                )
             }
             CodecError::LengthMismatch { expected, found } => {
                 write!(f, "buffer length {found} disagrees with header (expected {expected})")
@@ -346,18 +368,32 @@ fn parse_section(
     Ok(())
 }
 
-/// Encodes `trace` into a fresh buffer.
+/// Encodes `trace` into a fresh buffer with no source hash (0 = none).
+/// Use [`encode_with_hash`] when the workload's source hash is known.
 #[must_use]
 pub fn encode(trace: &RecordedTrace) -> Vec<u8> {
+    encode_with_hash(trace, 0)
+}
+
+/// Encodes `trace` into a fresh buffer, embedding `source_hash` (the
+/// FNV-1a64 of whatever produced the trace) in the v2 header.
+#[must_use]
+pub fn encode_with_hash(trace: &RecordedTrace, source_hash: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + trace.len() * 3 + TRAILER_LEN);
-    encode_into(trace, &mut out);
+    encode_into_with_hash(trace, source_hash, &mut out);
     out
 }
 
-/// Appends the encoding of `trace` to `out` and returns the number of
-/// bytes written. Encoding is total — every [`RecordedTrace`] has exactly
-/// one wire form.
+/// Appends the encoding of `trace` to `out` with no source hash and
+/// returns the number of bytes written.
 pub fn encode_into(trace: &RecordedTrace, out: &mut Vec<u8>) -> usize {
+    encode_into_with_hash(trace, 0, out)
+}
+
+/// Appends the encoding of `trace` to `out`, embedding `source_hash`,
+/// and returns the number of bytes written. Encoding is total — every
+/// `(RecordedTrace, source_hash)` pair has exactly one wire form.
+pub fn encode_into_with_hash(trace: &RecordedTrace, source_hash: u64, out: &mut Vec<u8>) -> usize {
     let start = out.len();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -369,6 +405,7 @@ pub fn encode_into(trace: &RecordedTrace, out: &mut Vec<u8>) -> usize {
     let lengths_at = out.len();
     push_u64(out, 0);
     push_u64(out, 0);
+    push_u64(out, source_hash);
     debug_assert_eq!(out.len() - start, HEADER_LEN);
 
     let fetch_start = out.len();
@@ -406,17 +443,22 @@ pub struct Decoder<'a> {
     fetch_count: u64,
     data_count: u64,
     cycles: u64,
+    version: u16,
+    source_hash: u64,
 }
 
 impl<'a> Decoder<'a> {
     /// Validates `bytes` (magic, version, lengths, checksum) and returns
-    /// a decoder over its sections.
+    /// a decoder over its sections. Both the current format and the v1
+    /// format (no source hash) are accepted.
     ///
     /// # Errors
     ///
     /// Any malformed buffer yields the matching [`CodecError`].
     pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
-        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        // The version field sits inside the smaller v1 header, so this
+        // minimum suffices to read it for either format.
+        if bytes.len() < HEADER_LEN_V1 + TRAILER_LEN {
             return Err(CodecError::Truncated);
         }
         let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
@@ -424,8 +466,13 @@ impl<'a> Decoder<'a> {
             return Err(CodecError::BadMagic(magic));
         }
         let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
-        if version != FORMAT_VERSION {
-            return Err(CodecError::UnsupportedVersion(version));
+        let header_len = match version {
+            FORMAT_VERSION => HEADER_LEN,
+            FORMAT_VERSION_V1 => HEADER_LEN_V1,
+            v => return Err(CodecError::UnsupportedVersion(v)),
+        };
+        if bytes.len() < header_len + TRAILER_LEN {
+            return Err(CodecError::Truncated);
         }
         let read_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte slice"));
         let fetch_count = read_u64(8);
@@ -433,7 +480,8 @@ impl<'a> Decoder<'a> {
         let cycles = read_u64(24);
         let fetch_len = read_u64(32);
         let data_len = read_u64(40);
-        let expected = (HEADER_LEN as u64)
+        let source_hash = if version == FORMAT_VERSION { read_u64(48) } else { 0 };
+        let expected = (header_len as u64)
             .checked_add(fetch_len)
             .and_then(|v| v.checked_add(data_len))
             .and_then(|v| v.checked_add(TRAILER_LEN as u64))
@@ -459,14 +507,16 @@ impl<'a> Decoder<'a> {
                 decoded: 0,
             });
         }
-        let fetch_end = HEADER_LEN + usize::try_from(fetch_len).map_err(|_| CodecError::Truncated)?;
+        let fetch_end = header_len + usize::try_from(fetch_len).map_err(|_| CodecError::Truncated)?;
         let data_end = fetch_end + usize::try_from(data_len).map_err(|_| CodecError::Truncated)?;
         Ok(Decoder {
-            fetch_section: &bytes[HEADER_LEN..fetch_end],
+            fetch_section: &bytes[header_len..fetch_end],
             data_section: &bytes[fetch_end..data_end],
             fetch_count,
             data_count,
             cycles,
+            version,
+            source_hash,
         })
     }
 
@@ -474,6 +524,21 @@ impl<'a> Decoder<'a> {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// The header's format version ([`FORMAT_VERSION`] or
+    /// [`FORMAT_VERSION_V1`]).
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The source hash embedded in the header: the FNV-1a64 of whatever
+    /// produced the trace. Zero for v1 buffers (which predate the field)
+    /// and for encoders that did not know it.
+    #[must_use]
+    pub fn source_hash(&self) -> u64 {
+        self.source_hash
     }
 
     /// Events in the fetch stream.
@@ -638,6 +703,76 @@ mod tests {
         dec.replay_section(Section::Fetch, &mut fetch_only).expect("replays");
         assert_eq!(fetch_only.loads + fetch_only.stores, 0);
         assert_eq!(fetch_only.fetches, trace.fetch_events.len() as u64);
+    }
+
+    /// Builds a version-1 buffer (PR 3 layout: no source-hash field) so
+    /// the read-only v1 decode path stays pinned without keeping old
+    /// binaries around.
+    fn encode_v1(trace: &RecordedTrace) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION_V1.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        push_u64(&mut out, trace.fetch_events.len() as u64);
+        push_u64(&mut out, trace.data_events.len() as u64);
+        push_u64(&mut out, trace.cycles);
+        let lengths_at = out.len();
+        push_u64(&mut out, 0);
+        push_u64(&mut out, 0);
+        assert_eq!(out.len(), HEADER_LEN_V1);
+        let fetch_start = out.len();
+        encode_section(&mut out, &trace.fetch_events);
+        let fetch_len = (out.len() - fetch_start) as u64;
+        encode_section(&mut out, &trace.data_events);
+        let data_len = (out.len() - fetch_start) as u64 - fetch_len;
+        out[lengths_at..lengths_at + 8].copy_from_slice(&fetch_len.to_le_bytes());
+        out[lengths_at + 8..lengths_at + 16].copy_from_slice(&data_len.to_le_bytes());
+        let checksum = fnv1a32(&out[MAGIC.len()..]);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn source_hash_round_trips() {
+        let trace = sample_trace();
+        let bytes = encode_with_hash(&trace, 0xdead_beef_cafe_f00d);
+        let dec = Decoder::new(&bytes).expect("valid");
+        assert_eq!(dec.version(), FORMAT_VERSION);
+        assert_eq!(dec.source_hash(), 0xdead_beef_cafe_f00d);
+        assert_eq!(dec.decode().expect("decodes"), trace);
+        // The plain encoder writes hash 0 ("unknown").
+        let plain_bytes = encode(&trace);
+        let plain = Decoder::new(&plain_bytes).expect("valid");
+        assert_eq!(plain.source_hash(), 0);
+    }
+
+    #[test]
+    fn different_source_hashes_change_the_bytes_only_in_the_header() {
+        let trace = sample_trace();
+        let a = encode_with_hash(&trace, 1);
+        let b = encode_with_hash(&trace, 2);
+        assert_eq!(a.len(), b.len());
+        // Payload identical; header hash field and trailing checksum differ.
+        assert_eq!(a[HEADER_LEN..a.len() - 4], b[HEADER_LEN..b.len() - 4]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn v1_buffers_still_decode() {
+        let trace = sample_trace();
+        let bytes = encode_v1(&trace);
+        let dec = Decoder::new(&bytes).expect("v1 decodes");
+        assert_eq!(dec.version(), FORMAT_VERSION_V1);
+        assert_eq!(dec.source_hash(), 0, "v1 predates the hash field");
+        assert_eq!(dec.decode().expect("decodes"), trace);
+        assert_eq!(decode(&bytes).expect("decodes"), trace);
+        // Truncations and bit flips of a v1 buffer error like v2's.
+        for len in 0..bytes.len() {
+            assert!(decode(&bytes[..len]).is_err(), "v1 prefix of {len} decoded");
+        }
+        let mut corrupt = bytes.clone();
+        corrupt[HEADER_LEN_V1] ^= 0x01;
+        assert!(decode(&corrupt).is_err());
     }
 
     #[test]

@@ -14,18 +14,23 @@
 //!   materialize; [`codec::Decoder`] streams events straight into any
 //!   [`TraceSink`](waymem_isa::TraceSink) through batched
 //!   `events(&[TraceEvent])` calls without building a `Vec`.
+//! * [`workload`] — [`WorkloadId`], the storage key: a built-in kernel at
+//!   a scale, an external log identified by FNV-1a64 content hash, or a
+//!   synthetic generator spec ([`SynthSpec`]) — plus the [`fnv1a64`]
+//!   content-hash helpers everything shares.
 //! * [`store`] — [`TraceStore`], a thread-safe cache keyed by
-//!   `(Benchmark, scale)`: records on first miss, hands out shared
-//!   `Arc` traces thereafter, counts hits/misses/bytes, and (optionally)
-//!   persists recordings under a cache directory so repeated process
-//!   invocations skip interpretation entirely.
+//!   [`WorkloadId`]: records on first miss, hands out shared
+//!   `Arc` traces thereafter, counts hits/misses/bytes, detects *stale*
+//!   cache files via the source hash the `.wmtr` v2 header embeds, and
+//!   (optionally) persists recordings under a size-capped cache
+//!   directory so repeated process invocations skip production entirely.
 //!
-//! `waymem-sim::run_benchmark_with_store` and
+//! `waymem-sim::run_benchmark_with_store` / `run_trace_with_store` and
 //! `waymem-bench::run_suite_with_store` thread one store through whole
 //! sweeps; the bench bins create one per process.
 //!
 //! ```
-//! use waymem_trace::{codec, TraceStore};
+//! use waymem_trace::{codec, TraceStore, WorkloadId};
 //! use waymem_isa::{FetchKind, RecordedTrace, TraceEvent};
 //! use waymem_workloads::Benchmark;
 //!
@@ -39,10 +44,11 @@
 //! let bytes = codec::encode(&trace);
 //! assert_eq!(codec::decode(&bytes).unwrap(), trace);
 //!
-//! // …and the store records each (benchmark, scale) once.
+//! // …and the store records each workload once.
 //! let store = TraceStore::new();
+//! let id = WorkloadId::kernel(Benchmark::Dct, 1);
 //! for _ in 0..3 {
-//!     store.get_or_record(Benchmark::Dct, 1, || Ok::<_, ()>(trace.clone())).unwrap();
+//!     store.get_or_record(id, 0, || Ok::<_, ()>(trace.clone())).unwrap();
 //! }
 //! assert_eq!(store.stats().records, 1);
 //! assert_eq!(store.stats().hits, 2);
@@ -53,6 +59,11 @@
 
 pub mod codec;
 pub mod store;
+pub mod workload;
 
-pub use codec::{decode, encode, encode_into, CodecError, Decoder, Section};
-pub use store::{StoreStats, TraceKey, TraceStore};
+pub use codec::{
+    decode, encode, encode_into, encode_into_with_hash, encode_with_hash, CodecError, Decoder,
+    Section,
+};
+pub use store::{StoreStats, TraceStore};
+pub use workload::{fnv1a64, fnv1a64_update, SynthPattern, SynthSpec, WorkloadId, FNV1A64_SEED};

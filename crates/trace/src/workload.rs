@@ -1,0 +1,308 @@
+//! Workload identity: what a stored trace is *of*.
+//!
+//! PR 3's store was keyed by `(Benchmark, scale)` — fine while the seven
+//! built-in kernels were the only trace sources. The ingest subsystem
+//! (`waymem-ingest`) adds two more: external memory-access logs (Valgrind
+//! Lackey / CSV captures) and parameterized synthetic access patterns.
+//! [`WorkloadId`] is the common key: every variant maps to a stable cache
+//! file name and back, and every variant has a *source hash* — the
+//! FNV-1a64 of whatever produced the trace (kernel assembly source, raw
+//! log bytes, generator spec) — that the `.wmtr` v2 header embeds so
+//! stale cache files are detected instead of silently replayed.
+
+use waymem_workloads::Benchmark;
+
+/// FNV-1a, 64-bit: the workspace's content-hash function. Used for
+/// workload source hashes (kernel assembly text, raw log bytes, synthetic
+/// generator specs); streamable via [`fnv1a64_update`].
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(FNV1A64_SEED, bytes)
+}
+
+/// The FNV-1a64 offset basis: the accumulator a streaming hash starts
+/// from before the first [`fnv1a64_update`] call.
+pub const FNV1A64_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a64 accumulator, so callers hashing
+/// a stream chunk-by-chunk (e.g. a log file read line-by-line) get the
+/// same digest as one [`fnv1a64`] call over the concatenation.
+#[must_use]
+pub fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A parameterized synthetic access pattern — the locality regimes the
+/// seven kernels do not cover. The spec is pure data; `waymem-ingest`
+/// turns it into an actual trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SynthPattern {
+    /// Pure sequential streaming: every access one word past the last.
+    /// Zero reuse — the regime where memoization buys the least.
+    Stream,
+    /// Fixed-stride walk over a wrapping region (`stride` in bytes).
+    /// Models column-major matrix traffic; stresses set-conflict reuse.
+    Strided {
+        /// Distance between consecutive accesses, in bytes (≥ 1).
+        stride: u32,
+    },
+    /// A dependent pointer chase over a shuffled cycle of `nodes` nodes.
+    /// Low spatial locality, perfect per-node temporal recurrence.
+    PointerChase {
+        /// Number of nodes in the chased cycle (≥ 1).
+        nodes: u32,
+    },
+    /// A zipf-like skewed working set: most accesses land in a hot set of
+    /// `hot_lines` cache lines, the rest scatter over a cold region. The
+    /// MAB's best case.
+    ZipfHotSet {
+        /// Number of 32-byte lines in the hot set (≥ 1).
+        hot_lines: u32,
+    },
+}
+
+impl SynthPattern {
+    /// Compact token used in labels and cache file names, e.g.
+    /// `stride64`, `chase512`.
+    #[must_use]
+    pub fn token(self) -> String {
+        match self {
+            SynthPattern::Stream => "stream".to_owned(),
+            SynthPattern::Strided { stride } => format!("stride{stride}"),
+            SynthPattern::PointerChase { nodes } => format!("chase{nodes}"),
+            SynthPattern::ZipfHotSet { hot_lines } => format!("zipf{hot_lines}"),
+        }
+    }
+
+    fn from_token(token: &str) -> Option<Self> {
+        if token == "stream" {
+            return Some(SynthPattern::Stream);
+        }
+        if let Some(v) = token.strip_prefix("stride") {
+            return Some(SynthPattern::Strided { stride: v.parse().ok()? });
+        }
+        if let Some(v) = token.strip_prefix("chase") {
+            return Some(SynthPattern::PointerChase { nodes: v.parse().ok()? });
+        }
+        if let Some(v) = token.strip_prefix("zipf") {
+            return Some(SynthPattern::ZipfHotSet { hot_lines: v.parse().ok()? });
+        }
+        None
+    }
+}
+
+/// A full synthetic-workload specification: the pattern plus how many
+/// data accesses to fabricate and the RNG seed. Two equal specs generate
+/// bit-identical traces (the generators are deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SynthSpec {
+    /// Which access pattern to fabricate.
+    pub pattern: SynthPattern,
+    /// Number of data accesses the generated trace contains.
+    pub accesses: u32,
+    /// Seed for the generator's deterministic RNG.
+    pub seed: u32,
+}
+
+/// What a stored trace is a trace *of*: one of the seven built-in paper
+/// kernels at a scale, an external log identified by its content hash, or
+/// a synthetic generator spec. Everything else (geometry, scheme,
+/// technology) only affects replay, never the recorded stream, so this is
+/// the whole [`TraceStore`](crate::TraceStore) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadId {
+    /// One of the paper's seven benchmark kernels at a workload scale.
+    Kernel {
+        /// The benchmark that produces the trace.
+        benchmark: Benchmark,
+        /// Its workload scale factor.
+        scale: u32,
+    },
+    /// An ingested external log, identified by the FNV-1a64 of its raw
+    /// bytes — a changed input file is a different workload, never a
+    /// silent cache hit.
+    External {
+        /// Content hash of the source log.
+        hash: u64,
+    },
+    /// A synthetic access-pattern generator run.
+    Synthetic(SynthSpec),
+}
+
+impl WorkloadId {
+    /// Convenience constructor for the kernel variant.
+    #[must_use]
+    pub fn kernel(benchmark: Benchmark, scale: u32) -> Self {
+        WorkloadId::Kernel { benchmark, scale }
+    }
+
+    /// The benchmark, when this is a built-in kernel workload.
+    #[must_use]
+    pub fn benchmark(self) -> Option<Benchmark> {
+        match self {
+            WorkloadId::Kernel { benchmark, .. } => Some(benchmark),
+            _ => None,
+        }
+    }
+
+    /// Short display label: the paper's benchmark name for kernels (what
+    /// every figure table prints), `ext-<hash16>` for external traces,
+    /// the pattern token for synthetics.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            WorkloadId::Kernel { benchmark, .. } => benchmark.name().to_owned(),
+            WorkloadId::External { hash } => format!("ext-{hash:016x}"),
+            WorkloadId::Synthetic(spec) => spec.pattern.token(),
+        }
+    }
+
+    /// The key's on-disk cache file name. Kernel keys keep PR 3's
+    /// `dct-s1.wmtr` shape (existing cache dirs stay addressable);
+    /// external and synthetic keys get distinct prefixes.
+    #[must_use]
+    pub fn file_name(self) -> String {
+        match self {
+            WorkloadId::Kernel { benchmark, scale } => {
+                format!("{}-s{}.wmtr", benchmark.name().to_lowercase(), scale)
+            }
+            WorkloadId::External { hash } => format!("ext-{hash:016x}.wmtr"),
+            WorkloadId::Synthetic(SynthSpec { pattern, accesses, seed }) => {
+                format!("synth-{}-a{accesses}-r{seed}.wmtr", pattern.token())
+            }
+        }
+    }
+
+    /// Parses a cache file name back into a key (the inverse of
+    /// [`file_name`](Self::file_name)); `None` for foreign files.
+    #[must_use]
+    pub fn from_file_name(name: &str) -> Option<Self> {
+        let stem = name.strip_suffix(".wmtr")?;
+        if let Some(hex) = stem.strip_prefix("ext-") {
+            if hex.len() != 16 {
+                return None;
+            }
+            return Some(WorkloadId::External { hash: u64::from_str_radix(hex, 16).ok()? });
+        }
+        if let Some(rest) = stem.strip_prefix("synth-") {
+            let (rest, seed_part) = rest.rsplit_once("-r")?;
+            let (token, accesses_part) = rest.rsplit_once("-a")?;
+            return Some(WorkloadId::Synthetic(SynthSpec {
+                pattern: SynthPattern::from_token(token)?,
+                accesses: accesses_part.parse().ok()?,
+                seed: seed_part.parse().ok()?,
+            }));
+        }
+        let (bench_name, scale_part) = stem.rsplit_once("-s")?;
+        let scale: u32 = scale_part.parse().ok()?;
+        let benchmark = Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().to_lowercase() == bench_name)?;
+        Some(WorkloadId::Kernel { benchmark, scale })
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_hash_equals_one_shot() {
+        let data = b"I  0023C790,2\n L 0025747C,4\n";
+        let mut h = FNV1A64_SEED;
+        for chunk in data.chunks(5) {
+            h = fnv1a64_update(h, chunk);
+        }
+        assert_eq!(h, fnv1a64(data));
+    }
+
+    #[test]
+    fn kernel_file_names_round_trip_and_match_pr3_shape() {
+        for bench in Benchmark::ALL {
+            for scale in [1, 2, 16] {
+                let id = WorkloadId::kernel(bench, scale);
+                assert_eq!(WorkloadId::from_file_name(&id.file_name()), Some(id));
+            }
+        }
+        assert_eq!(WorkloadId::kernel(Benchmark::Dct, 1).file_name(), "dct-s1.wmtr");
+    }
+
+    #[test]
+    fn external_and_synthetic_file_names_round_trip() {
+        let ids = [
+            WorkloadId::External { hash: 0 },
+            WorkloadId::External { hash: u64::MAX },
+            WorkloadId::External { hash: 0x0123_4567_89ab_cdef },
+            WorkloadId::Synthetic(SynthSpec {
+                pattern: SynthPattern::Stream,
+                accesses: 1,
+                seed: 0,
+            }),
+            WorkloadId::Synthetic(SynthSpec {
+                pattern: SynthPattern::Strided { stride: 4096 },
+                accesses: 200_000,
+                seed: 7,
+            }),
+            WorkloadId::Synthetic(SynthSpec {
+                pattern: SynthPattern::PointerChase { nodes: 512 },
+                accesses: 100_000,
+                seed: 1,
+            }),
+            WorkloadId::Synthetic(SynthSpec {
+                pattern: SynthPattern::ZipfHotSet { hot_lines: 64 },
+                accesses: u32::MAX,
+                seed: u32::MAX,
+            }),
+        ];
+        for id in ids {
+            assert_eq!(WorkloadId::from_file_name(&id.file_name()), Some(id), "{id}");
+        }
+    }
+
+    #[test]
+    fn foreign_file_names_are_rejected() {
+        for name in [
+            "nope.wmtr",
+            "dct-s1.txt",
+            "dct-sX.wmtr",
+            "ext-123.wmtr",             // hash not 16 hex digits
+            "ext-zzzzzzzzzzzzzzzz.wmtr", // not hex
+            "synth-stream.wmtr",        // missing params
+            "synth-warp9-a1-r1.wmtr",   // unknown pattern
+            "synth-stride-a1-r1.wmtr",  // missing stride value
+        ] {
+            assert_eq!(WorkloadId::from_file_name(name), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(WorkloadId::kernel(Benchmark::Dct, 2).name(), "DCT");
+        assert_eq!(WorkloadId::External { hash: 0xabc }.name(), "ext-0000000000000abc");
+        let spec = SynthSpec {
+            pattern: SynthPattern::ZipfHotSet { hot_lines: 64 },
+            accesses: 10,
+            seed: 1,
+        };
+        assert_eq!(WorkloadId::Synthetic(spec).name(), "zipf64");
+        assert_eq!(WorkloadId::Synthetic(spec).to_string(), "zipf64");
+    }
+}

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &bench in &Benchmark::ALL {
         let r = run_benchmark(bench, &cfg, &schemes, &[])?;
-        print!("{:<12}", r.benchmark.name());
+        print!("{:<12}", r.workload.name());
         for s in &r.dcache {
             let penalty = if s.extra_cycles > 0 {
                 format!("+{}c", s.extra_cycles / 1000)

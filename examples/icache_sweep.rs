@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut totals = vec![0.0f64; schemes.len()];
     for &bench in &Benchmark::ALL {
         let r = run_benchmark(bench, &cfg, &[], &schemes)?;
-        print!("{:<12}", r.benchmark.name());
+        print!("{:<12}", r.workload.name());
         for (i, s) in r.icache.iter().enumerate() {
             totals[i] += s.power.total_mw();
             if i == 0 {

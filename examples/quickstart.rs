@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[IScheme::Original, IScheme::paper_way_memo()],
     )?;
 
-    println!("benchmark: {} ({} cycles)\n", result.benchmark, result.cycles);
+    println!("benchmark: {} ({} cycles)\n", result.workload, result.cycles);
 
     println!("D-cache accounting (per access):");
     for s in &result.dcache {
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nway memoization saves {:.0}% of D-cache power on {} — with zero extra cycles ({}).",
         (1.0 - ours / orig) * 100.0,
-        result.benchmark,
+        result.workload,
         result.dcache[1].extra_cycles,
     );
     Ok(())

@@ -11,10 +11,15 @@
 //! * [`isa`] — the frv-lite CPU, assembler and trace machinery;
 //! * [`workloads`] — the seven benchmark kernels;
 //! * [`hwmodel`] — analytical area/delay/power models (Tables 1–3);
-//! * [`trace`] — trace storage: the compact binary codec and the
-//!   cross-config [`TraceStore`](trace::TraceStore) cache;
+//! * [`trace`] — trace storage: the compact binary codec, workload
+//!   identity ([`WorkloadId`](trace::WorkloadId)) and the cross-config
+//!   [`TraceStore`](trace::TraceStore) cache;
+//! * [`ingest`] — external trace ingestion: Valgrind Lackey / CSV log
+//!   parsers and synthetic access-pattern generators, so *any* memory
+//!   trace runs through every lookup scheme;
 //! * [`sim`] — cache front-ends for every scheme and the experiment
-//!   driver (Figures 4–8).
+//!   driver (Figures 4–8), including the general
+//!   [`run_trace`](sim::run_trace) entry point.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +51,7 @@
 pub use waymem_cache as cache;
 pub use waymem_core as core;
 pub use waymem_hwmodel as hwmodel;
+pub use waymem_ingest as ingest;
 pub use waymem_isa as isa;
 pub use waymem_sim as sim;
 pub use waymem_trace as trace;
@@ -56,9 +62,11 @@ pub mod prelude {
     pub use waymem_cache::{AccessStats, Geometry};
     pub use waymem_core::{Mab, MabConfig, MabLookup};
     pub use waymem_hwmodel::Technology;
+    pub use waymem_ingest::{parse_path, Ingested, LogFormat};
     pub use waymem_sim::{
-        run_benchmark, run_benchmark_with_store, DScheme, IScheme, SimConfig, SimResult,
+        run_benchmark, run_benchmark_with_store, run_trace, run_trace_with_store, DScheme,
+        IScheme, SimConfig, SimResult,
     };
-    pub use waymem_trace::TraceStore;
+    pub use waymem_trace::{SynthPattern, SynthSpec, TraceStore, WorkloadId};
     pub use waymem_workloads::Benchmark;
 }

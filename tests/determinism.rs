@@ -18,20 +18,20 @@ fn power_bits(r: &SchemeResult) -> [u64; 4] {
 }
 
 fn assert_identical(a: &SimResult, b: &SimResult) {
-    assert_eq!(a.benchmark, b.benchmark);
-    assert_eq!(a.cycles, b.cycles, "{}: cycle counts differ", a.benchmark);
+    assert_eq!(a.workload, b.workload);
+    assert_eq!(a.cycles, b.cycles, "{}: cycle counts differ", a.workload);
     assert_eq!(a.dcache.len(), b.dcache.len());
     assert_eq!(a.icache.len(), b.icache.len());
     for (x, y) in a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache)) {
         assert_eq!(x.name, y.name);
-        assert_eq!(x.stats, y.stats, "{}/{}: access stats differ", a.benchmark, x.name);
-        assert_eq!(x.energy, y.energy, "{}/{}: energy counts differ", a.benchmark, x.name);
+        assert_eq!(x.stats, y.stats, "{}/{}: access stats differ", a.workload, x.name);
+        assert_eq!(x.energy, y.energy, "{}/{}: energy counts differ", a.workload, x.name);
         assert_eq!(x.extra_cycles, y.extra_cycles);
         assert_eq!(
             power_bits(x),
             power_bits(y),
             "{}/{}: power not bit-identical",
-            a.benchmark,
+            a.workload,
             x.name
         );
     }

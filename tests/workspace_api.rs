@@ -33,6 +33,23 @@ fn prelude_reexports_are_stable() {
     type _IScheme = prelude::IScheme;
     // Workloads.
     type _Benchmark = prelude::Benchmark;
+    // Workload identity + ingestion.
+    type _WorkloadId = prelude::WorkloadId;
+    type _SynthSpec = prelude::SynthSpec;
+    type _SynthPattern = prelude::SynthPattern;
+    type _TraceStore = prelude::TraceStore;
+    type _LogFormat = prelude::LogFormat;
+    type _Ingested = prelude::Ingested;
+
+    // `run_trace` must keep its any-workload driver signature.
+    #[allow(clippy::type_complexity)]
+    let _run_trace: fn(
+        prelude::WorkloadId,
+        &waymem::isa::RecordedTrace,
+        &prelude::SimConfig,
+        &[prelude::DScheme],
+        &[prelude::IScheme],
+    ) -> prelude::SimResult = prelude::run_trace;
 
     // `run_benchmark` must keep its driver signature.
     #[allow(clippy::type_complexity)]
