@@ -5,7 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use waymem_isa::{Cpu, NullSink};
-use waymem_sim::{run_benchmark, DScheme, IScheme, SimConfig};
+use waymem_sim::{DScheme, Experiment, IScheme};
 use waymem_workloads::Benchmark;
 
 fn bench_interpreter(c: &mut Criterion) {
@@ -23,26 +23,23 @@ fn bench_interpreter(c: &mut Criterion) {
 }
 
 fn bench_full_experiment(c: &mut Criterion) {
-    let cfg = SimConfig::default();
     let mut group = c.benchmark_group("experiment");
     group.sample_size(10);
     group.bench_function("dct_three_d_three_i_schemes", |b| {
         b.iter(|| {
-            let r = run_benchmark(
-                Benchmark::Dct,
-                &cfg,
-                &[
+            let r = Experiment::kernel(Benchmark::Dct)
+                .dschemes([
                     DScheme::Original,
                     DScheme::SetBuffer { entries: 1 },
                     DScheme::paper_way_memo(),
-                ],
-                &[
+                ])
+                .ischemes([
                     IScheme::Original,
                     IScheme::IntraLine,
                     IScheme::paper_way_memo(),
-                ],
-            )
-            .expect("runs");
+                ])
+                .run()
+                .expect("runs");
             black_box(r.cycles)
         })
     });

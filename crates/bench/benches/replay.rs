@@ -1,17 +1,17 @@
 //! Criterion benchmarks for the record/replay engine:
 //!
 //! * `engine/*` — one full DCT experiment (3 D- + 3 I-schemes) under the
-//!   legacy serial per-event fanout vs the record-once/replay-in-parallel
-//!   pipeline, plus the parallel 7-benchmark suite;
+//!   serial per-event fanout (`ExecPolicy::Serial`) vs the
+//!   record-once/replay-in-parallel pipeline, plus the 7-benchmark suite
+//!   under both policies;
 //! * `sink_dispatch/*` — feeding a recorded DCT trace to a `dyn TraceSink`
 //!   one virtual call per event vs one `events` batch call (the
 //!   monomorphic slice loop the front-ends use).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use waymem_bench::{run_suite, run_suite_serial};
 use waymem_isa::{CountingSink, Cpu, RecordingSink, TraceEvent, TraceSink};
 use waymem_sim::{
-    record_trace, replay_trace, run_benchmark_fanout, DScheme, IScheme, SimConfig,
+    record_trace, DScheme, ExecPolicy, Experiment, IScheme, SimConfig, Suite, WorkloadId,
 };
 use waymem_workloads::Benchmark;
 
@@ -35,36 +35,58 @@ fn bench_engine(c: &mut Criterion) {
     let (d, i) = paper_schemes();
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);
+    let experiment = |policy| {
+        Experiment::kernel(Benchmark::Dct)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .policy(policy)
+    };
     group.bench_function("dct_fanout_3d3i", |b| {
+        // Serial policy on a store-less kernel = the per-event fanout
+        // engine, trace never materialized.
         b.iter(|| {
-            let r = run_benchmark_fanout(Benchmark::Dct, &cfg, &d, &i).expect("runs");
+            let r = experiment(ExecPolicy::Serial).run().expect("runs");
             black_box(r.cycles)
         })
     });
     group.bench_function("dct_replay_3d3i", |b| {
-        // The record/replay engine, invoked explicitly so the bench
-        // measures it even on hosts where `run_benchmark` would pick the
-        // fanout path (single-core).
+        // The record/replay engine, invoked explicitly via a recorded
+        // trace so the bench measures it even on hosts where the Auto
+        // policy would pick the fanout path (single-core).
         b.iter(|| {
             let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
-            let r = replay_trace(Benchmark::Dct, &trace, &cfg, &d, &i);
+            let r = Experiment::recorded(WorkloadId::kernel(Benchmark::Dct, 1), trace)
+                .dschemes(d.clone())
+                .ischemes(i.clone())
+                .run()
+                .expect("replays");
             black_box(r.cycles)
         })
     });
     group.bench_function("dct_replay_only_3d3i", |b| {
         // Replay with the recording amortized away: the marginal cost of
         // one more scheme-set over an already-recorded trace.
-        let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
+        let trace = std::sync::Arc::new(record_trace(Benchmark::Dct, &cfg).expect("records"));
         b.iter(|| {
-            let r = replay_trace(Benchmark::Dct, &trace, &cfg, &d, &i);
+            let r = Experiment::recorded(WorkloadId::kernel(Benchmark::Dct, 1), trace.clone())
+                .dschemes(d.clone())
+                .ischemes(i.clone())
+                .run()
+                .expect("replays");
             black_box(r.cycles)
         })
     });
+    let suite = |policy| {
+        Suite::kernels()
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .policy(policy)
+    };
     group.bench_function("suite_serial_fanout", |b| {
-        b.iter(|| black_box(run_suite_serial(&cfg, &d, &i).expect("runs").len()))
+        b.iter(|| black_box(suite(ExecPolicy::Serial).run().expect("runs").len()))
     });
     group.bench_function("suite_parallel_replay", |b| {
-        b.iter(|| black_box(run_suite(&cfg, &d, &i).expect("runs").len()))
+        b.iter(|| black_box(suite(ExecPolicy::Auto).run().expect("runs").len()))
     });
     group.finish();
 }

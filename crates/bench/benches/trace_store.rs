@@ -8,9 +8,8 @@
 //!   compact binary format on a real recorded DCT trace.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use waymem_bench::run_suite_with_store;
 use waymem_isa::CountingSink;
-use waymem_sim::{record_trace, DScheme, IScheme, SimConfig, TraceStore};
+use waymem_sim::{record_trace, DScheme, IScheme, SimConfig, Suite, TraceStore};
 use waymem_trace::{codec, Section};
 use waymem_workloads::Benchmark;
 
@@ -21,16 +20,19 @@ fn suite_schemes() -> (Vec<DScheme>, Vec<IScheme>) {
     )
 }
 
-fn bench_store(c: &mut Criterion) {
-    let cfg = SimConfig::default();
+fn suite(store: &TraceStore) -> Suite<'_> {
     let (d, i) = suite_schemes();
+    Suite::kernels().dschemes(d).ischemes(i).store(store)
+}
+
+fn bench_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_store");
     group.sample_size(10);
     group.bench_function("suite_cold", |b| {
         // A fresh store per iteration: all seven kernels interpreted.
         b.iter(|| {
             let store = TraceStore::new();
-            black_box(run_suite_with_store(&cfg, &d, &i, &store).expect("runs").len())
+            black_box(suite(&store).run().expect("runs").len())
         })
     });
     group.bench_function("suite_warm", |b| {
@@ -38,8 +40,8 @@ fn bench_store(c: &mut Criterion) {
         // sweep iteration must beat the cold one — `tests/store.rs`
         // asserts the hit accounting, this shows the wall-clock.
         let store = TraceStore::new();
-        run_suite_with_store(&cfg, &d, &i, &store).expect("warm-up");
-        b.iter(|| black_box(run_suite_with_store(&cfg, &d, &i, &store).expect("runs").len()))
+        suite(&store).run().expect("warm-up");
+        b.iter(|| black_box(suite(&store).run().expect("runs").len()))
     });
     group.finish();
 }

@@ -6,11 +6,10 @@
 //! * the paper's future-work MAB + line-buffer hybrid, and
 //! * a D-MAB geometry sweep (N_t × N_s) showing why 2×8 is the sweet spot.
 
-use waymem_bench::{geometric_mean, run_suite_with_store};
-use waymem_sim::{format_ratio_table, DScheme, FigureRow, SimConfig, TraceStore};
+use waymem_bench::geometric_mean;
+use waymem_sim::{format_ratio_table, DScheme, FigureRow, Suite, TraceStore};
 
 fn main() {
-    let cfg = SimConfig::default();
     // One store across ablation A and the 12-point geometry sweep B:
     // the seven kernels are interpreted once for the whole binary.
     let store = TraceStore::new();
@@ -25,7 +24,11 @@ fn main() {
             line_entries: 2,
         },
     ];
-    let results = run_suite_with_store(&cfg, &schemes, &[], &store).expect("suite runs");
+    let results = Suite::kernels()
+        .dschemes(schemes)
+        .store(&store)
+        .run()
+        .expect("suite runs");
 
     println!("Ablation A: D-cache alternatives (power mW / extra cycles)");
     println!(
@@ -63,7 +66,11 @@ fn main() {
                     set_entries: ns,
                 },
             ];
-            let results = run_suite_with_store(&cfg, &schemes, &[], &store).expect("suite runs");
+            let results = Suite::kernels()
+                .dschemes(schemes)
+                .store(&store)
+                .run()
+                .expect("suite runs");
             let ratios: Vec<f64> = results
                 .iter()
                 .map(|r| r.dcache[1].power.total_mw() / r.dcache[0].power.total_mw())

@@ -14,8 +14,8 @@
 
 use std::time::Instant;
 
-use waymem_bench::{geometric_mean, run_suite_with_store};
-use waymem_sim::{DScheme, SimConfig, TraceStore};
+use waymem_bench::geometric_mean;
+use waymem_sim::{DScheme, SimConfig, Suite, TraceStore};
 
 /// Runs the suite for each `(ways, label)` column of one table.
 fn sweep(
@@ -43,7 +43,12 @@ fn sweep(
             ..SimConfig::default()
         };
         let schemes = [DScheme::Original, DScheme::paper_way_memo()];
-        let results = run_suite_with_store(&cfg, &schemes, &[], store).expect("suite runs");
+        let results = Suite::kernels()
+            .config(cfg)
+            .dschemes(schemes)
+            .store(store)
+            .run()
+            .expect("suite runs");
         for r in &results {
             let ratio = r.dcache[1].power.total_mw() / r.dcache[0].power.total_mw();
             per_assoc[col].push(ratio);

@@ -10,9 +10,8 @@
 //! have returned wrong data, on the real benchmarks and on a small cache
 //! where conflict pressure amplifies the effect.
 
-use waymem_bench::run_suite;
 use waymem_cache::Geometry;
-use waymem_sim::{DScheme, SimConfig};
+use waymem_sim::{DScheme, SimConfig, Suite};
 
 fn main() {
     let schemes = [DScheme::WayMemoPaperLru {
@@ -34,7 +33,11 @@ fn main() {
             geometry,
             ..SimConfig::default()
         };
-        let results = run_suite(&cfg, &schemes, &[]).expect("suite runs");
+        let results = Suite::kernels()
+            .config(cfg)
+            .dschemes(schemes)
+            .run()
+            .expect("suite runs");
         for r in &results {
             let s = &r.dcache[0].stats;
             let frac = if s.mab_hits + s.unsound_hits == 0 {

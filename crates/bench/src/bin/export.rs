@@ -10,8 +10,8 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use waymem_bench::json::{store_stats_json, Json};
-use waymem_bench::{full_dschemes, full_ischemes, run_suite_with_store, store_from_env};
-use waymem_sim::{SchemeResult, SimConfig, SimResult};
+use waymem_bench::{full_dschemes, full_ischemes, store_from_env};
+use waymem_sim::{SchemeResult, SimConfig, SimResult, Suite};
 
 fn row_json(r: &SimResult, side: &str, s: &SchemeResult) -> Json {
     let st = &s.stats;
@@ -42,10 +42,14 @@ fn row_json(r: &SimResult, side: &str, s: &SchemeResult) -> Json {
 fn main() {
     let out_dir = std::env::args().nth(1);
     let cfg = SimConfig::default();
-    let dschemes = full_dschemes();
-    let ischemes = full_ischemes();
     let store = store_from_env();
-    let results = run_suite_with_store(&cfg, &dschemes, &ischemes, &store).expect("suite runs");
+    let results = Suite::kernels()
+        .config(cfg)
+        .dschemes(full_dschemes())
+        .ischemes(full_ischemes())
+        .store(&store)
+        .run()
+        .expect("suite runs");
 
     let mut csv = String::from(
         "benchmark,cache,scheme,cycles,accesses,tag_reads,way_reads,hits,misses,\

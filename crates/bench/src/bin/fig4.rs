@@ -2,12 +2,14 @@
 //! per D-cache access for original / set buffer \[14\] / way memoization,
 //! over the seven benchmarks.
 
-use waymem_bench::{fig4_dschemes, run_suite};
-use waymem_sim::{format_ratio_table, FigureRow, SimConfig};
+use waymem_bench::fig4_dschemes;
+use waymem_sim::{format_ratio_table, FigureRow, Suite};
 
 fn main() {
-    let cfg = SimConfig::default();
-    let results = run_suite(&cfg, &fig4_dschemes(), &[]).expect("suite runs");
+    let results = Suite::kernels()
+        .dschemes(fig4_dschemes())
+        .run()
+        .expect("suite runs");
 
     let tag_rows: Vec<FigureRow> = results
         .iter()

@@ -2,12 +2,14 @@
 //! memory and MAB components, for original / set buffer \[14\] / ours, per
 //! benchmark, via Eq. (1).
 
-use waymem_bench::{fig4_dschemes, geometric_mean, run_suite};
-use waymem_sim::{format_power_table, SimConfig};
+use waymem_bench::{fig4_dschemes, geometric_mean};
+use waymem_sim::{format_power_table, Suite};
 
 fn main() {
-    let cfg = SimConfig::default();
-    let results = run_suite(&cfg, &fig4_dschemes(), &[]).expect("suite runs");
+    let results = Suite::kernels()
+        .dschemes(fig4_dschemes())
+        .run()
+        .expect("suite runs");
 
     let mut savings = Vec::new();
     for r in &results {

@@ -1,12 +1,14 @@
 //! Regenerates Figure 6: average tag and way accesses per I-cache access
 //! for approach \[4\] versus way memoization with 2×8 / 2×16 / 2×32 MABs.
 
-use waymem_bench::{fig6_ischemes, run_suite};
-use waymem_sim::{format_ratio_table, FigureRow, SimConfig};
+use waymem_bench::fig6_ischemes;
+use waymem_sim::{format_ratio_table, FigureRow, Suite};
 
 fn main() {
-    let cfg = SimConfig::default();
-    let results = run_suite(&cfg, &[], &fig6_ischemes()).expect("suite runs");
+    let results = Suite::kernels()
+        .ischemes(fig6_ischemes())
+        .run()
+        .expect("suite runs");
 
     let tag_rows: Vec<FigureRow> = results
         .iter()

@@ -1,12 +1,14 @@
 //! Regenerates Figure 7: I-cache power (mW) for approach \[4\] versus way
 //! memoization with 2×8 / 2×16 / 2×32 MABs, per benchmark, via Eq. (1).
 
-use waymem_bench::{fig6_ischemes, geometric_mean, run_suite};
-use waymem_sim::{format_power_table, SimConfig};
+use waymem_bench::{fig6_ischemes, geometric_mean};
+use waymem_sim::{format_power_table, Suite};
 
 fn main() {
-    let cfg = SimConfig::default();
-    let results = run_suite(&cfg, &[], &fig6_ischemes()).expect("suite runs");
+    let results = Suite::kernels()
+        .ischemes(fig6_ischemes())
+        .run()
+        .expect("suite runs");
 
     let mut ratios = Vec::new();
     for r in &results {

@@ -2,11 +2,10 @@
 //! "original + approach \[4\]" (conventional D-cache, intra-line-memoized
 //! I-cache) against ours (2×8 D-MAB + 2×16 I-MAB).
 
-use waymem_bench::{geometric_mean, run_suite};
-use waymem_sim::{DScheme, IScheme, SimConfig};
+use waymem_bench::geometric_mean;
+use waymem_sim::{DScheme, IScheme, Suite};
 
 fn main() {
-    let cfg = SimConfig::default();
     let dschemes = [
         DScheme::Original,
         DScheme::WayMemo {
@@ -21,7 +20,11 @@ fn main() {
             set_entries: 16,
         },
     ];
-    let results = run_suite(&cfg, &dschemes, &ischemes).expect("suite runs");
+    let results = Suite::kernels()
+        .dschemes(dschemes)
+        .ischemes(ischemes)
+        .run()
+        .expect("suite runs");
 
     println!("Figure 8: total I+D cache power (mW)");
     println!(

@@ -4,12 +4,12 @@
 //! * total cache power reduced ~30 % on average / 40 % max,
 //! * no performance penalty (zero extra cycles for the MAB schemes).
 //!
-//! It also times the 7-benchmark suite under three engines — the legacy
-//! serial per-event fanout, a cold pass through the shared
-//! [`TraceStore`] (records or disk-loads each trace), and a warm pass
-//! (pure in-memory store hits) — and writes the wall-clocks plus the
-//! store's hit/miss/compression accounting to `BENCH_headline.json`, so
-//! the repository tracks its own performance trajectory.
+//! It also times the 7-benchmark suite under three engines — the serial
+//! per-event fanout ([`ExecPolicy::Serial`]), a cold pass through the
+//! shared [`waymem_sim::TraceStore`] (records or disk-loads each trace),
+//! and a warm pass (pure in-memory store hits) — and writes the wall-clocks plus
+//! the store's hit/miss/compression accounting to `BENCH_headline.json`,
+//! so the repository tracks its own performance trajectory.
 //!
 //! Set `WAYMEM_TRACE_CACHE=<dir>` to persist recorded traces across
 //! invocations; a second run then reports `"records": 0` — the CI
@@ -18,26 +18,29 @@
 use std::time::Instant;
 
 use waymem_bench::json::{store_stats_json, Json};
-use waymem_bench::{geometric_mean, run_suite_serial, run_suite_with_store, store_from_env};
-use waymem_sim::{DScheme, IScheme, SimConfig};
+use waymem_bench::{geometric_mean, store_from_env};
+use waymem_sim::{DScheme, ExecPolicy, IScheme, Suite};
 
 fn main() {
-    let cfg = SimConfig::default();
     let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
     let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
     let store = store_from_env();
+    let suite = || Suite::kernels().dschemes(dschemes).ischemes(ischemes);
 
     let serial_start = Instant::now();
-    let serial = run_suite_serial(&cfg, &dschemes, &ischemes).expect("serial suite runs");
+    let serial = suite()
+        .policy(ExecPolicy::Serial)
+        .run()
+        .expect("serial suite runs");
     let serial_s = serial_start.elapsed().as_secs_f64();
 
     // Cold pass: every lookup misses in memory (records, or loads from a
     // warm cache dir); warm pass: every lookup is an in-memory hit.
     let cold_start = Instant::now();
-    let results = run_suite_with_store(&cfg, &dschemes, &ischemes, &store).expect("suite runs");
+    let results = suite().store(&store).run().expect("suite runs");
     let cold_s = cold_start.elapsed().as_secs_f64();
     let warm_start = Instant::now();
-    let warm = run_suite_with_store(&cfg, &dschemes, &ischemes, &store).expect("suite runs");
+    let warm = suite().store(&store).run().expect("suite runs");
     let warm_s = warm_start.elapsed().as_secs_f64();
 
     // The engines must agree exactly (tests pin this; cheap re-check).

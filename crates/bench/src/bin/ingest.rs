@@ -32,10 +32,8 @@ use std::process::ExitCode;
 
 use waymem_bench::json::{store_stats_json, Json};
 use waymem_bench::{full_dschemes, full_ischemes, store_from_env};
-use waymem_ingest::{parse, synth, LogFormat};
-use waymem_sim::{
-    run_trace_with_store, FigureRow, SchemeResult, SimConfig, SimResult, WorkloadId,
-};
+use waymem_ingest::{synth, LogFormat};
+use waymem_sim::{Experiment, FigureRow, SchemeResult, SimConfig, SimResult, WorkloadId};
 
 /// One evaluated workload: where it came from, what ran.
 struct Row {
@@ -52,23 +50,6 @@ struct Options {
     synth_accesses: u32,
     run_synth: bool,
     out_dir: PathBuf,
-}
-
-/// Streams a file through FNV-1a64 in bounded chunks — the workload
-/// identity of an external log, computable without parsing (or holding)
-/// the text.
-fn hash_file(path: &std::path::Path) -> std::io::Result<u64> {
-    use std::io::Read;
-    let mut file = std::fs::File::open(path)?;
-    let mut hash = waymem_trace::FNV1A64_SEED;
-    let mut buf = [0u8; 64 * 1024];
-    loop {
-        let n = file.read(&mut buf)?;
-        if n == 0 {
-            return Ok(hash);
-        }
-        hash = waymem_trace::fnv1a64_update(hash, &buf[..n]);
-    }
 }
 
 fn usage() -> ! {
@@ -183,52 +164,40 @@ fn main() -> ExitCode {
 
     for path in &opts.logs {
         let format = opts.forced_format.unwrap_or_else(|| LogFormat::for_path(path));
-        // Hash the raw bytes first: with a warm trace cache the `.wmtr`
-        // disk hit then skips parsing (and the event materialization)
-        // entirely — for a multi-GB capture the parse *is* the cost.
-        let hash = match hash_file(path) {
-            Ok(h) => h,
-            Err(e) => {
-                eprintln!("ingest: cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let id = WorkloadId::External { hash };
         let label = path
             .file_name()
             .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
-        // (lines, skipped) when this process actually parsed the log.
-        let mut parse_meta: Option<(u64, u64)> = None;
-        let result = run_trace_with_store(id, hash, &cfg, &dschemes, &ischemes, &store, || {
-            let file = std::fs::File::open(path)
-                .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
-            let ingested = parse(format, std::io::BufReader::new(file))
-                .map_err(|e| format!("{}: {e}", path.display()))?;
-            debug_assert_eq!(ingested.source_hash, hash, "streamed hash must match parser's");
-            if ingested.trace.is_empty() {
-                return Err(format!("{}: log contains no accesses", path.display()));
-            }
-            parse_meta = Some((ingested.lines, ingested.skipped));
-            Ok(ingested.trace)
-        });
-        let result = match result {
-            Ok(r) => r,
+        // The experiment hashes the raw bytes first: with a warm trace
+        // cache the `.wmtr` disk hit then skips parsing (and the event
+        // materialization) entirely — for a multi-GB capture the parse
+        // *is* the cost.
+        let prepared = Experiment::ingest(path)
+            .format(format)
+            .config(cfg)
+            .dschemes(dschemes.clone())
+            .ischemes(ischemes.clone())
+            .store(&store)
+            .prepare();
+        let prepared = match prepared {
+            Ok(p) => p,
             Err(e) => {
                 eprintln!("ingest: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let trace = store.get(id).expect("store holds the trace it just served");
-        match parse_meta {
-            Some((lines, skipped)) => eprintln!(
-                "ingest: {label}: {lines} lines ({skipped} skipped), {} fetches, {} loads/stores, hash {hash:016x}",
-                trace.fetch_events.len(),
-                trace.data_events.len(),
+        let hash = prepared.source_hash();
+        let meta = prepared.ingest_meta();
+        let (fetches, data) = (
+            prepared.trace().fetch_events.len(),
+            prepared.trace().data_events.len(),
+        );
+        match meta {
+            Some(m) => eprintln!(
+                "ingest: {label}: {} lines ({} skipped), {fetches} fetches, {data} loads/stores, hash {hash:016x}",
+                m.lines, m.skipped,
             ),
             None => eprintln!(
-                "ingest: {label}: replayed cached trace ({} fetches, {} loads/stores), hash {hash:016x}",
-                trace.fetch_events.len(),
-                trace.data_events.len(),
+                "ingest: {label}: replayed cached trace ({fetches} fetches, {data} loads/stores), hash {hash:016x}",
             ),
         }
         let mut source = vec![
@@ -240,21 +209,23 @@ fn main() -> ExitCode {
             ),
             ("content_hash".to_owned(), Json::from(format!("{hash:016x}"))),
         ];
-        if let Some((lines, skipped)) = parse_meta {
-            source.push(("lines".to_owned(), Json::from(lines)));
-            source.push(("skipped_lines".to_owned(), Json::from(skipped)));
+        if let Some(m) = meta {
+            source.push(("lines".to_owned(), Json::from(m.lines)));
+            source.push(("skipped_lines".to_owned(), Json::from(m.skipped)));
         }
-        rows.push(Row { label, source: Json::Object(source), result });
+        rows.push(Row { label, source: Json::Object(source), result: prepared.run() });
     }
 
     if opts.run_synth {
         for spec in synth::standard_suite(opts.synth_accesses) {
             let id = WorkloadId::Synthetic(spec);
-            let hash = synth::source_hash(spec);
-            let result = run_trace_with_store(id, hash, &cfg, &dschemes, &ischemes, &store, || {
-                Ok::<_, std::convert::Infallible>(synth::generate(spec))
-            })
-            .expect("infallible generator");
+            let result = Experiment::synthetic(spec)
+                .config(cfg)
+                .dschemes(dschemes.clone())
+                .ischemes(ischemes.clone())
+                .store(&store)
+                .run()
+                .expect("infallible generator");
             rows.push(Row {
                 label: id.name(),
                 source: Json::object(vec![

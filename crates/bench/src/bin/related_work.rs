@@ -4,11 +4,9 @@
 //! paper says \[11\] pays and the MAB avoids: extra link bits read with
 //! every instruction, and a link-invalidation scan on every replacement.
 
-use waymem_bench::run_suite;
-use waymem_sim::{IScheme, SimConfig};
+use waymem_sim::{IScheme, Suite};
 
 fn main() {
-    let cfg = SimConfig::default();
     let schemes = [
         IScheme::Original,
         IScheme::IntraLine,
@@ -16,7 +14,7 @@ fn main() {
         IScheme::ExtendedBtb { entries: 32 },
         IScheme::paper_way_memo(),
     ];
-    let results = run_suite(&cfg, &[], &schemes).expect("suite runs");
+    let results = Suite::kernels().ischemes(schemes).run().expect("suite runs");
 
     println!("Related work, I-cache (tags/access | power mW):");
     println!(

@@ -21,216 +21,46 @@
 //! | `ingest`   | any external/synthetic trace through every scheme      |
 //!
 //! Run any of them with `cargo run --release -p waymem-bench --bin <name>`.
-//! The library part of this crate holds the shared sweep drivers — the
-//! parallel [`run_suite`], the store-backed [`run_suite_with_store`]
-//! the multi-config bins thread one [`TraceStore`] through, and the
-//! legacy [`run_suite_serial`] both are benchmarked against (see
-//! `benches/replay.rs` and `benches/trace_store.rs`) — plus the full
-//! scheme lists ([`full_dschemes`]/[`full_ischemes`]), the env-wired
-//! [`store_from_env`], and the tiny [`json`] writer behind the
-//! `BENCH_*.json` exports, so the binaries stay tiny and the integration
-//! tests can assert on the same structured data the binaries print.
+//! Every binary drives the same [`Experiment`](waymem_sim::Experiment) /
+//! [`Suite`](waymem_sim::Suite) builder the library users get — e.g. the
+//! full evaluation suite behind `fig4`:
+//!
+//! ```no_run
+//! use waymem_bench::fig4_dschemes;
+//! use waymem_sim::Suite;
+//!
+//! # fn main() -> Result<(), waymem_sim::RunError> {
+//! let results = Suite::kernels().dschemes(fig4_dschemes()).run()?;
+//! assert_eq!(results.len(), 7);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The library part of this crate re-exports the scheme presets
+//! ([`fig4_dschemes`] / [`fig6_ischemes`] / [`full_dschemes`] /
+//! [`full_ischemes`], now defined in `waymem_sim::presets`) plus the
+//! env-wired [`store_from_env`], holds the tiny [`json`] writer behind
+//! the `BENCH_*.json` exports, and keeps the deprecated `run_suite*`
+//! shims importable for downstream code that predates the builder.
 
-use waymem_sim::{
-    run_benchmark, run_benchmark_fanout, run_benchmark_with_store, DScheme, IScheme, RunError,
-    SimConfig, SimResult, TraceStore,
-};
-use waymem_workloads::Benchmark;
+use waymem_sim::TraceStore;
 
 pub mod json;
 
-/// The D-cache schemes of Figures 4–5: original, set buffer \[14\], ours.
-#[must_use]
-pub fn fig4_dschemes() -> Vec<DScheme> {
-    vec![
-        DScheme::Original,
-        DScheme::SetBuffer { entries: 1 },
-        DScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 8,
-        },
-    ]
-}
-
-/// The I-cache schemes of Figures 6–7: approach \[4\] plus ours with 2×8,
-/// 2×16 and 2×32 MABs.
-#[must_use]
-pub fn fig6_ischemes() -> Vec<IScheme> {
-    vec![
-        IScheme::IntraLine,
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 8,
-        },
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 16,
-        },
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 32,
-        },
-    ]
-}
-
-/// Every implemented D-cache lookup scheme — conventional, the paper's
-/// way memoization, and all ablations — in presentation order. The
-/// `export` and `ingest` bins run this full comparison so their JSON
-/// rows cover the whole design space.
-#[must_use]
-pub fn full_dschemes() -> Vec<DScheme> {
-    vec![
-        DScheme::Original,
-        DScheme::SetBuffer { entries: 1 },
-        DScheme::FilterCache { lines: 4 },
-        DScheme::WayPredict,
-        DScheme::TwoPhase,
-        DScheme::paper_way_memo(),
-        DScheme::WayMemoLineBuffer {
-            tag_entries: 2,
-            set_entries: 8,
-            line_entries: 2,
-        },
-    ]
-}
-
-/// Every implemented I-cache lookup scheme, in presentation order; the
-/// I-side counterpart of [`full_dschemes`].
-#[must_use]
-pub fn full_ischemes() -> Vec<IScheme> {
-    vec![
-        IScheme::Original,
-        IScheme::IntraLine,
-        IScheme::LinkMemo,
-        IScheme::ExtendedBtb { entries: 32 },
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 8,
-        },
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 16,
-        },
-        IScheme::WayMemo {
-            tag_entries: 2,
-            set_entries: 32,
-        },
-    ]
-}
+pub use waymem_sim::presets::{fig4_dschemes, fig6_ischemes, full_dschemes, full_ischemes};
+// The deprecated suite shims historically lived in this crate; they now
+// forward to `waymem_sim::Suite` but stay importable here.
+#[allow(deprecated)]
+pub use waymem_sim::{run_suite, run_suite_serial, run_suite_with_store};
 
 /// The per-process [`TraceStore`] the bench binaries share, wired from
-/// the environment: `WAYMEM_TRACE_CACHE=<dir>` enables persistence,
-/// `WAYMEM_TRACE_CACHE_MAX_BYTES=<n>` caps the directory with
-/// oldest-mtime eviction. Unset variables mean a memory-only store /
-/// no cap.
+/// the environment ([`TraceStore::from_env`]): `WAYMEM_TRACE_CACHE=<dir>`
+/// enables persistence, `WAYMEM_TRACE_CACHE_MAX_BYTES=<n>` caps the
+/// directory with oldest-mtime eviction. Unset variables mean a
+/// memory-only store / no cap.
 #[must_use]
 pub fn store_from_env() -> TraceStore {
-    match std::env::var_os("WAYMEM_TRACE_CACHE") {
-        Some(dir) => TraceStore::with_cache_dir(std::path::PathBuf::from(dir))
-            .with_cache_limit(TraceStore::cache_cap_from_env()),
-        None => TraceStore::new(),
-    }
-}
-
-/// Runs all seven benchmarks under the given schemes, fanning the
-/// benchmarks out across [`std::thread::scope`] workers; every worker in
-/// turn records its benchmark's trace once and replays it through the
-/// schemes in parallel ([`waymem_sim::run_benchmark`]).
-///
-/// Like the inner replay fan-out, the suite level is bounded: at most
-/// [`std::thread::available_parallelism`] benchmark workers run, each
-/// taking a contiguous chunk of [`Benchmark::ALL`]. (Both levels cap at
-/// the core count independently, so a 7-benchmark × N-scheme suite
-/// spawns at most `cores + cores·cores` short-lived compute threads and
-/// far fewer in practice; small hosts are not drowned in one thread per
-/// benchmark × scheme.)
-///
-/// Workers are joined in [`Benchmark::ALL`] order, so the result order
-/// and the error reported are the same as a serial loop's.
-///
-/// # Errors
-///
-/// Propagates the first [`RunError`] in benchmark order. The kernels are
-/// tested to assemble and halt, so an error here indicates a build
-/// problem, not bad input.
-pub fn run_suite(
-    cfg: &SimConfig,
-    dschemes: &[DScheme],
-    ischemes: &[IScheme],
-) -> Result<Vec<SimResult>, RunError> {
-    run_suite_via(&|b| run_benchmark(b, cfg, dschemes, ischemes))
-}
-
-/// The shared suite fan-out behind [`run_suite`] and
-/// [`run_suite_with_store`]: both drivers differ only in how one
-/// benchmark is run, so the worker-count / chunking / join-order
-/// contract lives exactly once.
-fn run_suite_via(
-    run_one: &(dyn Fn(Benchmark) -> Result<SimResult, RunError> + Sync),
-) -> Result<Vec<SimResult>, RunError> {
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-    // On a single-core host the workers would only interleave; run the
-    // benchmarks inline instead (results are identical either way).
-    if workers <= 1 {
-        return Benchmark::ALL.iter().map(|&b| run_one(b)).collect();
-    }
-    let chunk = Benchmark::ALL.len().div_ceil(workers).max(1);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = Benchmark::ALL
-            .chunks(chunk)
-            .map(|group| {
-                scope.spawn(move || group.iter().map(|&b| run_one(b)).collect::<Vec<_>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("suite worker panicked"))
-            .collect()
-    })
-}
-
-/// [`run_suite`] with a shared [`TraceStore`]: each of the seven
-/// benchmarks is interpreted at most once per `(benchmark, scale)` key
-/// for the store's whole lifetime, so a multi-config sweep calling this
-/// per geometry pays the interpreter exactly seven times for the entire
-/// sweep (zero times, with a warm persistent store) instead of seven
-/// times per configuration.
-///
-/// The fan-out and ordering guarantees are [`run_suite`]'s: at most
-/// [`std::thread::available_parallelism`] benchmark workers, results in
-/// [`Benchmark::ALL`] order, first error in benchmark order. Workers
-/// racing on the same key serialize inside the store and record once.
-///
-/// # Errors
-///
-/// Propagates the first [`RunError`] in benchmark order.
-pub fn run_suite_with_store(
-    cfg: &SimConfig,
-    dschemes: &[DScheme],
-    ischemes: &[IScheme],
-    store: &TraceStore,
-) -> Result<Vec<SimResult>, RunError> {
-    run_suite_via(&|b| run_benchmark_with_store(b, cfg, dschemes, ischemes, store))
-}
-
-/// The pre-record/replay suite driver: benchmarks run one after another,
-/// each feeding every front-end per event through the serial fanout sink.
-/// Kept so `headline` and the criterion benches can report the engine's
-/// before/after wall-clock on identical work; results are bit-identical
-/// to [`run_suite`]'s.
-///
-/// # Errors
-///
-/// Propagates the first [`RunError`], like [`run_suite`].
-pub fn run_suite_serial(
-    cfg: &SimConfig,
-    dschemes: &[DScheme],
-    ischemes: &[IScheme],
-) -> Result<Vec<SimResult>, RunError> {
-    Benchmark::ALL
-        .iter()
-        .map(|&b| run_benchmark_fanout(b, cfg, dschemes, ischemes))
-        .collect()
+    TraceStore::from_env()
 }
 
 /// Geometric-mean helper for "on average" claims.

@@ -4,8 +4,7 @@
 //! drivers, and persistence carrying traces across store instances the
 //! way separate bench-bin invocations do.
 
-use waymem_bench::{run_suite, run_suite_with_store};
-use waymem_sim::{DScheme, IScheme, SimConfig, SimResult, TraceStore};
+use waymem_sim::{DScheme, Experiment, IScheme, SimConfig, SimResult, Suite, TraceStore};
 use waymem_workloads::Benchmark;
 
 fn schemes() -> (Vec<DScheme>, Vec<IScheme>) {
@@ -13,6 +12,13 @@ fn schemes() -> (Vec<DScheme>, Vec<IScheme>) {
         vec![DScheme::Original, DScheme::paper_way_memo()],
         vec![IScheme::Original, IScheme::paper_way_memo()],
     )
+}
+
+/// The kernel suite under the shared schemes at `cfg`, ready for an
+/// optional `.store(..)`.
+fn suite(cfg: &SimConfig) -> Suite<'static> {
+    let (d, i) = schemes();
+    Suite::kernels().config(*cfg).dschemes(d).ischemes(i)
 }
 
 fn assert_same_results(a: &[SimResult], b: &[SimResult]) {
@@ -36,22 +42,21 @@ fn assert_same_results(a: &[SimResult], b: &[SimResult]) {
 
 #[test]
 fn suite_records_each_benchmark_exactly_once_across_configs() {
-    let (d, i) = schemes();
     let store = TraceStore::new();
     let cfg = SimConfig::default();
 
     // Three suite passes over different geometries — the sweep pattern.
-    let first = run_suite_with_store(&cfg, &d, &i, &store).expect("suite runs");
+    let first = suite(&cfg).store(&store).run().expect("suite runs");
     let wide = SimConfig {
         geometry: waymem_cache::Geometry::new(128, 8, 32).expect("valid"),
         ..cfg
     };
-    let _ = run_suite_with_store(&wide, &d, &i, &store).expect("suite runs");
+    let _ = suite(&wide).store(&store).run().expect("suite runs");
     let long_lines = SimConfig {
         geometry: waymem_cache::Geometry::new(256, 2, 64).expect("valid"),
         ..cfg
     };
-    let _ = run_suite_with_store(&long_lines, &d, &i, &store).expect("suite runs");
+    let _ = suite(&long_lines).store(&store).run().expect("suite runs");
 
     let stats = store.stats();
     let n = Benchmark::ALL.len() as u64;
@@ -63,23 +68,24 @@ fn suite_records_each_benchmark_exactly_once_across_configs() {
 
     // A different scale is a different key: seven more recordings.
     let scaled = SimConfig { scale: 2, ..cfg };
-    let _ = run_suite_with_store(&scaled, &d, &i, &store).expect("suite runs");
+    let _ = suite(&scaled).store(&store).run().expect("suite runs");
     assert_eq!(store.stats().records, 2 * n);
 
     // And the store-backed results match the store-less driver exactly.
-    let plain = run_suite(&cfg, &d, &i).expect("suite runs");
+    let plain = suite(&cfg).run().expect("suite runs");
     assert_same_results(&first, &plain);
 }
 
 #[test]
 fn warm_suite_is_bit_identical_to_cold() {
-    let (d, i) = schemes();
     let store = TraceStore::new();
     let cfg = SimConfig::default();
-    let cold = run_suite_with_store(&cfg, &d, &i, &store).expect("cold");
-    let warm = run_suite_with_store(&cfg, &d, &i, &store).expect("warm");
+    let cold = suite(&cfg).store(&store).run().expect("cold");
+    let warm = suite(&cfg).store(&store).run().expect("warm");
     assert_same_results(&cold, &warm);
     assert_eq!(store.stats().records, Benchmark::ALL.len() as u64);
+    // The SuiteResult's snapshot mirrors the live store accounting.
+    assert_eq!(warm.store_stats.expect("store attached"), store.stats());
 }
 
 #[test]
@@ -90,16 +96,22 @@ fn persistent_store_skips_interpretation_on_the_second_instance() {
     // Keep this test light: one benchmark, via the sim-level entry point.
     let cfg = SimConfig::default();
 
+    let run_one = |store: &TraceStore| {
+        Experiment::kernel(Benchmark::Dct)
+            .config(cfg)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .store(store)
+            .run()
+    };
     let cold_store = TraceStore::with_cache_dir(&dir);
-    let cold = waymem_sim::run_benchmark_with_store(Benchmark::Dct, &cfg, &d, &i, &cold_store)
-        .expect("cold run");
+    let cold = run_one(&cold_store).expect("cold run");
     assert_eq!(cold_store.stats().records, 1);
     assert_eq!(cold_store.stats().files_saved, 1);
 
     // A second store over the same dir — a fresh process invocation.
     let warm_store = TraceStore::with_cache_dir(&dir);
-    let warm = waymem_sim::run_benchmark_with_store(Benchmark::Dct, &cfg, &d, &i, &warm_store)
-        .expect("warm run");
+    let warm = run_one(&warm_store).expect("warm run");
     let stats = warm_store.stats();
     assert_eq!(stats.records, 0, "warm instance must not interpret");
     assert_eq!(stats.disk_hits, 1);

@@ -14,13 +14,13 @@
 //! * [`synth`] — deterministic, parameterized synthetic access-pattern
 //!   generators (sequential stream, strided walk, pointer chase,
 //!   zipf-like hot set) fabricated straight into
-//!   [`RecordedTrace`](waymem_isa::RecordedTrace)s.
+//!   [`RecordedTrace`]s.
 //!
 //! Every parsed or generated trace is a first-class `RecordedTrace`: it
 //! flows through `waymem-sim::run_trace` / `run_trace_with_store` and the
 //! parallel replay engine exactly like a kernel recording, is cached by
 //! the [`TraceStore`](waymem_trace::TraceStore) under a
-//! [`WorkloadId`](waymem_trace::WorkloadId) keyed by FNV-1a64 content
+//! [`WorkloadId`] keyed by FNV-1a64 content
 //! hash (external logs) or generator spec (synthetics), and lands in the
 //! same `BENCH_results.json` rows as the paper's figures.
 //!
@@ -318,6 +318,29 @@ pub fn parse_path(path: impl AsRef<Path>) -> Result<Ingested, IngestError> {
     let path = path.as_ref();
     let file = std::fs::File::open(path)?;
     parse(LogFormat::for_path(path), io::BufReader::new(file))
+}
+
+/// Streams a file through FNV-1a64 in bounded chunks — the workload
+/// identity of an external log ([`WorkloadId::External`]), computable
+/// without parsing (or holding) the text. Equals the `source_hash` the
+/// parsers compute while streaming, so a store-backed run can hash
+/// first and skip the parse entirely on a warm cache hit.
+///
+/// # Errors
+///
+/// Any I/O error opening or reading the file.
+pub fn hash_file(path: impl AsRef<Path>) -> io::Result<u64> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut hash = FNV1A64_SEED;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok(hash);
+        }
+        hash = fnv1a64_update(hash, &buf[..n]);
+    }
 }
 
 /// The shared line-pump both format modules drive: reads `reader` line

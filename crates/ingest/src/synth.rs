@@ -13,16 +13,26 @@
 //! * [`SynthPattern::PointerChase`] — a dependent chase over a shuffled
 //!   node cycle (64 B apart): no spatial locality, perfect per-node
 //!   temporal recurrence once the cycle wraps;
-//! * [`SynthPattern::ZipfHotSet`] — a zipf-like skewed working set:
-//!   ~90 % of accesses in a few hot lines, the rest scattered cold —
-//!   the MAB's best case.
+//! * [`SynthPattern::ZipfHotSet`] — a true zipf(α) skewed working set
+//!   (alias-table sampled ranks, α exposed in centi-units): ~90 % of
+//!   accesses in a few hot lines, the rest scattered cold — the MAB's
+//!   best case;
+//! * [`SynthPattern::PhaseChange`] — a hot set that *migrates* to a
+//!   fresh region mid-trace, repeatedly: every migration cold-starts all
+//!   memoized state at once, the regime sweeps between stable phases
+//!   never show.
 //!
 //! Generation is **deterministic**: equal [`SynthSpec`]s produce
-//! bit-identical traces (an xorshift32 stream seeded from the spec), so
-//! the [`TraceStore`](waymem_trace::TraceStore) can cache them like any
+//! bit-identical traces on a given host (an xorshift32 stream seeded
+//! from the spec; integer arithmetic throughout, except the zipf alias
+//! table whose weights go through libm `powf` once per trace), so the
+//! [`TraceStore`](waymem_trace::TraceStore) can cache them like any
 //! other workload, keyed by the spec itself and fingerprinted by
-//! [`source_hash`] (which folds in [`GENERATOR_VERSION`], so improving a
-//! generator invalidates stale cached traces instead of replaying them).
+//! [`source_hash`] (which folds in [`GENERATOR_VERSION`] — so improving
+//! a generator invalidates stale cached traces instead of replaying
+//! them — and, for zipf specs, [`powf_fingerprint`], so cache dirs
+//! shared between hosts with disagreeing libm re-generate rather than
+//! silently replay).
 //!
 //! Every pattern drives its data stream from a modelled inner loop on
 //! the fetch side — four sequential instructions then a backward branch
@@ -36,7 +46,9 @@ use crate::{Op, TraceBuilder};
 
 /// Bumped whenever any generator's output changes for the same spec, so
 /// cached traces from older generators read as stale, not current.
-pub const GENERATOR_VERSION: u32 = 1;
+/// v2: true alias-table zipf(α) sampling replaced the min-of-two-uniforms
+/// skew hack, and the phase-change pattern joined the family.
+pub const GENERATOR_VERSION: u32 = 2;
 
 /// Where the data region starts. Arbitrary but stable: changing it would
 /// change every generated trace (and [`GENERATOR_VERSION`] would bump).
@@ -57,6 +69,24 @@ const NODE_STRIDE: u32 = 64;
 /// Upper bound on pointer-chase cycle length, so a hostile spec cannot
 /// demand an unbounded shuffle table (2^20 nodes ≈ 4 MiB of table).
 const MAX_CHASE_NODES: u32 = 1 << 20;
+
+/// Upper bound on hot-set size for the zipf and phase-change patterns:
+/// bounds the alias table and keeps `rank * 32` addressing inside u32.
+const MAX_HOT_LINES: u32 = 1 << 20;
+
+/// Distance between consecutive phase regions of
+/// [`SynthPattern::PhaseChange`]: 1 MiB apart, so a migrated hot set
+/// shares no lines (and in general no sets) with its predecessor.
+const PHASE_STRIDE: u32 = 1 << 20;
+
+/// Upper bound on phase count: `DATA_BASE + 255 · PHASE_STRIDE` plus a
+/// full phase-sized hot set still sits below `COLD_BASE`, so no phase's
+/// hot region can ever alias the cold-scatter window (or wrap).
+const MAX_PHASES: u32 = 255;
+
+/// Upper bound on a phase's hot-set size: one full [`PHASE_STRIDE`] of
+/// 32-byte lines, so consecutive phase regions never overlap each other.
+const MAX_PHASE_HOT_LINES: u32 = PHASE_STRIDE / 32;
 
 /// The wrap region for strided walks: 1 MiB, comfortably larger than any
 /// simulated cache.
@@ -91,29 +121,126 @@ impl XorShift32 {
 /// that folds in [`GENERATOR_VERSION`]. Stored in the `.wmtr` header so
 /// a cache file produced by an older generator re-generates instead of
 /// silently replaying.
+///
+/// Zipf specs additionally fold in [`powf_fingerprint`]: their alias
+/// table derives from libm `powf`, which is not guaranteed to round
+/// identically across platforms, so a cache dir copied between hosts
+/// whose libm disagrees reads as stale and re-generates instead of
+/// silently replaying a trace the local generator would not reproduce.
 #[must_use]
 pub fn source_hash(spec: SynthSpec) -> u64 {
+    let libm = match spec.pattern {
+        SynthPattern::ZipfHotSet { .. } => powf_fingerprint(),
+        _ => 0,
+    };
     let canonical = format!(
-        "waymem-synth/v{GENERATOR_VERSION}/{}",
+        "waymem-synth/v{GENERATOR_VERSION}/l{libm:016x}/{}",
         WorkloadId::Synthetic(spec).file_name()
     );
     fnv1a64(canonical.as_bytes())
 }
 
-/// The four-pattern suite the `ingest` bench bin runs alongside any
+/// A fingerprint of this host's `f64::powf` rounding behaviour: the
+/// FNV-1a64 of the result bits at a grid of probe points spanning the
+/// zipf weight computation's domain ((k+1) bases, −α exponents).
+/// Memoized for the process lifetime. Two hosts whose libm agrees on
+/// the probes almost surely agree on every weight; ones that differ get
+/// different zipf [`source_hash`]es and never share cached traces.
+#[must_use]
+pub fn powf_fingerprint() -> u64 {
+    use std::sync::OnceLock;
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        let mut hash = waymem_trace::FNV1A64_SEED;
+        for base in [2.0f64, 3.0, 5.0, 17.0, 1023.0, 65537.0, 1048576.0] {
+            for alpha in [0.01f64, 0.37, 0.99, 1.0, 1.73, 2.41, 13.0, 99.0] {
+                hash = waymem_trace::fnv1a64_update(
+                    hash,
+                    &base.powf(-alpha).to_bits().to_le_bytes(),
+                );
+            }
+        }
+        hash
+    })
+}
+
+/// The five-pattern suite the `ingest` bench bin runs alongside any
 /// ingested logs: one spec per locality regime, all at `accesses` data
-/// accesses with a fixed seed (determinism across hosts).
+/// accesses with a fixed seed (deterministic per host; the zipf row's
+/// cross-host caching is guarded by [`powf_fingerprint`]).
 #[must_use]
 pub fn standard_suite(accesses: u32) -> Vec<SynthSpec> {
     [
         SynthPattern::Stream,
         SynthPattern::Strided { stride: 64 },
         SynthPattern::PointerChase { nodes: 4096 },
-        SynthPattern::ZipfHotSet { hot_lines: 64 },
+        SynthPattern::ZipfHotSet { hot_lines: 64, alpha_centi: 100 },
+        SynthPattern::PhaseChange { hot_lines: 64, phases: 4 },
     ]
     .into_iter()
     .map(|pattern| SynthSpec { pattern, accesses, seed: 1 })
     .collect()
+}
+
+/// A Walker/Vose alias table over the zipf(α) rank distribution
+/// p(k) ∝ 1/(k+1)^α for `n` ranks: O(n) to build, then O(1) *pure
+/// integer* sampling — two RNG draws and one threshold compare — so the
+/// f64 work happens once per trace, not once per access. Thresholds are
+/// fixed-point (scaled to 2³²), making the sample path bit-deterministic
+/// for a given table.
+struct ZipfAlias {
+    /// Per-slot acceptance threshold, scaled so 2³² = "always accept".
+    threshold: Vec<u64>,
+    /// The rank drawn when the slot's threshold rejects.
+    alias: Vec<u32>,
+}
+
+impl ZipfAlias {
+    /// Builds the table for `n` ranks (clamped to ≥ 1) at α =
+    /// `alpha_centi` / 100. α = 0 degenerates to uniform.
+    fn new(n: u32, alpha_centi: u32) -> Self {
+        let n = n.max(1) as usize;
+        let alpha = f64::from(alpha_centi) / 100.0;
+        let weights: Vec<f64> = (0..n).map(|k| ((k + 1) as f64).powf(-alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        // Vose's method: scale every probability by n (mean 1.0), pair
+        // each under-full slot with an over-full donor.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w / total * n as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (k, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(k);
+            } else {
+                large.push(k);
+            }
+        }
+        let mut threshold = vec![1u64 << 32; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            threshold[s] = (scaled[s] * (1u64 << 32) as f64) as u64;
+            alias[s] = l as u32;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Slots left on either stack are exactly full (modulo rounding):
+        // they keep the always-accept threshold.
+        ZipfAlias { threshold, alias }
+    }
+
+    /// Draws one rank in `0..n`; rank 0 is the hottest.
+    fn sample(&self, rng: &mut XorShift32) -> u32 {
+        let slot = rng.below(self.threshold.len() as u32) as usize;
+        if u64::from(rng.next()) < self.threshold[slot] {
+            slot as u32
+        } else {
+            self.alias[slot]
+        }
+    }
 }
 
 /// A single random cycle over `0..nodes` (Sattolo's algorithm): exactly
@@ -144,6 +271,12 @@ pub fn generate(spec: SynthSpec) -> RecordedTrace {
         }
         _ => None,
     };
+    let zipf = match spec.pattern {
+        SynthPattern::ZipfHotSet { hot_lines, alpha_centi } => {
+            Some(ZipfAlias::new(hot_lines.min(MAX_HOT_LINES), alpha_centi))
+        }
+        _ => None,
+    };
     for i in 0..spec.accesses {
         // The modelled loop: LOOP_BODY sequential fetches; the next
         // iteration's first fetch is then inferred as the backward
@@ -169,17 +302,35 @@ pub fn generate(spec: SynthSpec) -> RecordedTrace {
                 *cur = cycle[*cur as usize];
                 (Op::Load, addr)
             }
-            SynthPattern::ZipfHotSet { hot_lines } => {
-                let lines = hot_lines.max(1);
+            SynthPattern::ZipfHotSet { .. } => {
                 if rng.below(10) < 9 {
-                    // Hot: rank skewed toward line 0 (min of two uniform
-                    // draws — a simple zipf-like bias), random word.
-                    let rank = rng.below(lines).min(rng.below(lines));
+                    // Hot: true zipf(α) rank via the alias table (rank 0
+                    // hottest), random word within the line.
+                    let rank = zipf.as_ref().expect("zipf table initialized").sample(&mut rng);
                     let word = rng.below(8);
                     let op = if rng.below(8) == 0 { Op::Store } else { Op::Load };
                     (op, DATA_BASE + rank * 32 + word * 4)
                 } else {
                     // Cold: uniform scatter over 4 MiB.
+                    (Op::Load, COLD_BASE + rng.below(1 << 20) * 4)
+                }
+            }
+            SynthPattern::PhaseChange { hot_lines, phases } => {
+                // The hot set migrates to a fresh 1 MiB-apart region at
+                // each phase boundary; within a phase it behaves like a
+                // uniform hot set (the migration, not the skew, is the
+                // regime under test). Both knobs are clamped so phase
+                // regions can neither overlap each other nor reach the
+                // cold-scatter window.
+                let lines = hot_lines.clamp(1, MAX_PHASE_HOT_LINES);
+                let phase_len = spec.accesses.div_ceil(phases.clamp(1, MAX_PHASES)).max(1);
+                let base = DATA_BASE + (i / phase_len).min(MAX_PHASES - 1) * PHASE_STRIDE;
+                if rng.below(10) < 9 {
+                    let rank = rng.below(lines);
+                    let word = rng.below(8);
+                    let op = if rng.below(8) == 0 { Op::Store } else { Op::Load };
+                    (op, base.wrapping_add(rank * 32 + word * 4))
+                } else {
                     (Op::Load, COLD_BASE + rng.below(1 << 20) * 4)
                 }
             }
@@ -205,10 +356,12 @@ mod tests {
         }
     }
 
+    const ZIPF64: SynthPattern = SynthPattern::ZipfHotSet { hot_lines: 64, alpha_centi: 100 };
+
     #[test]
     fn seeds_change_randomized_patterns() {
-        let a = generate(SynthSpec { pattern: SynthPattern::ZipfHotSet { hot_lines: 64 }, accesses: 1000, seed: 1 });
-        let b = generate(SynthSpec { pattern: SynthPattern::ZipfHotSet { hot_lines: 64 }, accesses: 1000, seed: 2 });
+        let a = generate(SynthSpec { pattern: ZIPF64, accesses: 1000, seed: 1 });
+        let b = generate(SynthSpec { pattern: ZIPF64, accesses: 1000, seed: 2 });
         assert_ne!(a, b);
     }
 
@@ -261,7 +414,7 @@ mod tests {
 
     #[test]
     fn zipf_concentrates_in_the_hot_set() {
-        let t = generate(spec(SynthPattern::ZipfHotSet { hot_lines: 64 }));
+        let t = generate(spec(ZIPF64));
         let hot = t
             .data_events
             .iter()
@@ -270,6 +423,93 @@ mod tests {
         let frac = hot as f64 / t.data_events.len() as f64;
         assert!(frac > 0.8, "hot fraction {frac}");
         assert!(frac < 1.0, "some cold scatter must remain");
+    }
+
+    #[test]
+    fn zipf_alias_matches_the_analytic_distribution() {
+        // Sample the alias table heavily and compare per-rank frequencies
+        // against p(k) ∝ 1/(k+1)^α — the property the min-of-two-uniforms
+        // hack failed.
+        let (n, alpha_centi, draws) = (8u32, 100u32, 200_000u32);
+        let table = ZipfAlias::new(n, alpha_centi);
+        let mut counts = vec![0u64; n as usize];
+        let mut rng = XorShift32::new(42);
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let harmonic: f64 = (1..=n).map(|k| 1.0 / f64::from(k)).sum();
+        for (k, &c) in counts.iter().enumerate() {
+            let expect = 1.0 / (k as f64 + 1.0) / harmonic;
+            let got = c as f64 / f64::from(draws);
+            assert!(
+                (got - expect).abs() < 0.01,
+                "rank {k}: got {got:.4}, expected {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_controls_the_skew() {
+        // Higher α concentrates more probability on rank 0; α = 0 is
+        // uniform.
+        let hot_share = |alpha_centi: u32| {
+            let table = ZipfAlias::new(64, alpha_centi);
+            let mut rng = XorShift32::new(7);
+            let hits = (0..100_000).filter(|_| table.sample(&mut rng) == 0).count();
+            hits as f64 / 100_000.0
+        };
+        let uniform = hot_share(0);
+        let classic = hot_share(100);
+        let steep = hot_share(200);
+        assert!((uniform - 1.0 / 64.0).abs() < 0.005, "α=0 must be uniform, got {uniform}");
+        assert!(classic > 2.0 * uniform, "α=1 skews to rank 0 ({classic} vs {uniform})");
+        assert!(steep > classic, "α=2 skews harder ({steep} vs {classic})");
+    }
+
+    #[test]
+    fn alpha_changes_the_generated_trace_and_its_hash() {
+        let a = SynthSpec { pattern: ZIPF64, accesses: 1000, seed: 1 };
+        let b = SynthSpec {
+            pattern: SynthPattern::ZipfHotSet { hot_lines: 64, alpha_centi: 200 },
+            accesses: 1000,
+            seed: 1,
+        };
+        assert_ne!(generate(a), generate(b));
+        assert_ne!(source_hash(a), source_hash(b));
+    }
+
+    #[test]
+    fn phase_change_migrates_the_hot_set() {
+        let accesses = 4000;
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::PhaseChange { hot_lines: 64, phases: 4 },
+            accesses,
+            seed: 1,
+        });
+        // Each quarter's hot accesses must land in its own 1 MiB region.
+        let phase_len = accesses as usize / 4;
+        for phase in 0..4u32 {
+            let base = DATA_BASE + phase * PHASE_STRIDE;
+            let events = &t.data_events[phase as usize * phase_len..][..phase_len];
+            let in_region = events
+                .iter()
+                .filter(|e| {
+                    let a = e.primary_addr();
+                    a >= base && a < base + 64 * 32
+                })
+                .count();
+            let frac = in_region as f64 / phase_len as f64;
+            assert!(frac > 0.8, "phase {phase}: hot fraction {frac}");
+        }
+        // And phase 1's hot region must be untouched during phase 0.
+        let phase1_base = DATA_BASE + PHASE_STRIDE;
+        assert!(
+            t.data_events[..phase_len].iter().all(|e| {
+                let a = e.primary_addr();
+                a < phase1_base || a >= phase1_base + 64 * 32
+            }),
+            "phase 0 must not touch phase 1's hot set"
+        );
     }
 
     #[test]
@@ -285,6 +525,21 @@ mod tests {
                 kind: FetchKind::TakenBranch { base, .. }
             } if pc == LOOP_BASE && base == LOOP_BASE + 4 * (LOOP_BODY - 1)
         ));
+    }
+
+    #[test]
+    fn powf_fingerprint_is_stable_and_folded_into_zipf_hashes_only() {
+        assert_eq!(powf_fingerprint(), powf_fingerprint());
+        assert_ne!(powf_fingerprint(), 0);
+        // Only zipf specs depend on powf; the integer-only generators'
+        // hashes must not vary with the host's libm.
+        let stream = spec(SynthPattern::Stream);
+        let canonical = format!(
+            "waymem-synth/v{GENERATOR_VERSION}/l{:016x}/{}",
+            0,
+            WorkloadId::Synthetic(stream).file_name()
+        );
+        assert_eq!(source_hash(stream), fnv1a64(canonical.as_bytes()));
     }
 
     #[test]
@@ -314,7 +569,27 @@ mod tests {
         });
         assert_eq!(t.data_events.len(), 10);
         let t = generate(SynthSpec {
-            pattern: SynthPattern::ZipfHotSet { hot_lines: 0 },
+            pattern: SynthPattern::ZipfHotSet { hot_lines: 0, alpha_centi: u32::MAX },
+            accesses: 10,
+            seed: 1,
+        });
+        assert_eq!(t.data_events.len(), 10);
+        // A huge hot set clamps the alias table; a huge phase count
+        // degenerates to one migration per access — neither panics.
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::ZipfHotSet { hot_lines: u32::MAX, alpha_centi: 100 },
+            accesses: 10,
+            seed: 1,
+        });
+        assert_eq!(t.data_events.len(), 10);
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::PhaseChange { hot_lines: u32::MAX, phases: u32::MAX },
+            accesses: 10,
+            seed: 1,
+        });
+        assert_eq!(t.data_events.len(), 10);
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::PhaseChange { hot_lines: 0, phases: 0 },
             accesses: 10,
             seed: 1,
         });

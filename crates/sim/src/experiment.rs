@@ -1,0 +1,770 @@
+//! The composable experiment builder — one entry point for every
+//! workload × scheme × store run.
+//!
+//! The driver layer used to expose one free function per combination of
+//! workload source (kernel / recorded trace / external log) and storage
+//! (plain / store-backed) — nine overlapping `run_*` variants with
+//! copy-pasted positional plumbing. [`Experiment`] replaces them with a
+//! typed builder over the one underlying pipeline:
+//!
+//! 1. **resolve** the workload to a [`WorkloadId`] plus a
+//!    [`RecordedTrace`] — interpreting a kernel, parsing a log,
+//!    running a synthetic generator, or taking a trace as given;
+//! 2. **record-or-load** through an optional [`TraceStore`], so the
+//!    expensive production step happens at most once per store lifetime
+//!    (zero times, with a warm persistent cache);
+//! 3. **replay** the trace across every requested scheme front-end under
+//!    an [`ExecPolicy`] — scoped worker threads, a serial loop, or an
+//!    adaptive choice between them. All policies are bit-identical;
+//!    only wall-clock differs.
+//!
+//! ```
+//! use waymem_sim::{Experiment, DScheme, IScheme};
+//! use waymem_workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), waymem_sim::RunError> {
+//! let result = Experiment::kernel(Benchmark::Dct)
+//!     .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+//!     .ischemes([IScheme::Original, IScheme::paper_way_memo()])
+//!     .run()?;
+//! assert!(result.dcache[1].power.total_mw() < result.dcache[0].power.total_mw());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Suite`] is the multi-workload companion: the same knobs, shared
+//! across a list of workloads that fan out over worker threads (the
+//! seven paper kernels via [`Suite::kernels`], or any mix of kernels,
+//! logs and synthetics via [`Suite::workload`]).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use waymem_cache::Geometry;
+use waymem_hwmodel::Technology;
+use waymem_ingest::{hash_file, parse, synth, LogFormat};
+use waymem_isa::RecordedTrace;
+use waymem_trace::{StoreStats, SynthSpec, TraceStore, WorkloadId};
+use waymem_workloads::Benchmark;
+
+use crate::run::{
+    kernel_source_hash, record_trace, replay_with_policy, run_kernel_fanout, RunError, SimConfig,
+    SimResult,
+};
+use crate::{DScheme, IScheme};
+
+/// How replay work is scheduled across the host's cores.
+///
+/// Every policy produces bit-identical results (each front-end consumes
+/// the identical event stream in isolation; `tests/experiment.rs` pins
+/// the equivalence) — the policy only chooses how the work is laid onto
+/// threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// Parallel when it can pay for itself (more than one front-end and
+    /// more than one hardware thread), serial otherwise. The default.
+    #[default]
+    Auto,
+    /// Always fan out across scoped worker threads, at most one per
+    /// hardware thread.
+    Parallel,
+    /// Always run inline on the calling thread. For a kernel workload
+    /// without a store this additionally skips materializing the trace,
+    /// feeding the front-ends per event straight from the interpreter —
+    /// the engine the parallel replay is cross-validated against.
+    Serial,
+}
+
+/// What an [`Experiment`] runs: the workload half of the builder.
+///
+/// Usually constructed through the [`Experiment`] constructors (or the
+/// `From` impls when feeding a [`Suite`]), not spelled out directly.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// One of the seven built-in paper kernels, at the experiment's
+    /// configured scale.
+    Kernel(Benchmark),
+    /// Any workload by identity: kernels record at the id's own scale,
+    /// synthetics generate, and external ids resolve only against a
+    /// store that already holds them (a warm persistent cache dir).
+    Id(WorkloadId),
+    /// An already-recorded trace under a caller-chosen identity. Taken
+    /// as given: the store, if any, is bypassed rather than trusted over
+    /// the in-memory trace.
+    Recorded {
+        /// The identity replay results carry.
+        id: WorkloadId,
+        /// The trace to replay.
+        trace: Arc<RecordedTrace>,
+    },
+    /// A deterministic synthetic access pattern, generated on demand.
+    Synthetic(SynthSpec),
+    /// An external memory-trace log, parsed on demand — hashed first, so
+    /// a store-backed run skips the parse entirely on a warm hit.
+    Log {
+        /// Path to the log file.
+        path: PathBuf,
+        /// Grammar override; `None` picks by file extension
+        /// ([`LogFormat::for_path`]).
+        format: Option<LogFormat>,
+    },
+}
+
+impl From<Benchmark> for WorkloadSpec {
+    fn from(bench: Benchmark) -> Self {
+        WorkloadSpec::Kernel(bench)
+    }
+}
+
+impl From<WorkloadId> for WorkloadSpec {
+    fn from(id: WorkloadId) -> Self {
+        WorkloadSpec::Id(id)
+    }
+}
+
+impl From<SynthSpec> for WorkloadSpec {
+    fn from(spec: SynthSpec) -> Self {
+        WorkloadSpec::Synthetic(spec)
+    }
+}
+
+impl From<&Path> for WorkloadSpec {
+    fn from(path: &Path) -> Self {
+        WorkloadSpec::Log { path: path.to_path_buf(), format: None }
+    }
+}
+
+impl From<PathBuf> for WorkloadSpec {
+    fn from(path: PathBuf) -> Self {
+        WorkloadSpec::Log { path, format: None }
+    }
+}
+
+/// The experiment's storage selection: nothing, a caller-shared store,
+/// or one the experiment owns.
+#[derive(Debug, Default)]
+enum StoreSel<'s> {
+    #[default]
+    None,
+    Borrowed(&'s TraceStore),
+    Owned(TraceStore),
+}
+
+impl StoreSel<'_> {
+    fn get(&self) -> Option<&TraceStore> {
+        match self {
+            StoreSel::None => None,
+            StoreSel::Borrowed(s) => Some(s),
+            StoreSel::Owned(s) => Some(s),
+        }
+    }
+}
+
+/// A single workload × scheme-set × store run, assembled builder-style
+/// and terminated by [`run`](Experiment::run) (or
+/// [`prepare`](Experiment::prepare) when the caller wants the resolved
+/// trace and ingestion metadata before replaying).
+///
+/// See the [module docs](self) for the pipeline and an example; see
+/// [`Suite`] for multi-workload fan-out.
+#[derive(Debug)]
+#[must_use = "an Experiment does nothing until .run() / .prepare()"]
+pub struct Experiment<'s> {
+    workload: WorkloadSpec,
+    cfg: SimConfig,
+    dschemes: Vec<DScheme>,
+    ischemes: Vec<IScheme>,
+    store: StoreSel<'s>,
+    policy: ExecPolicy,
+}
+
+impl Experiment<'_> {
+    /// An experiment over any workload spec (usually via the typed
+    /// constructors below).
+    pub fn new(workload: impl Into<WorkloadSpec>) -> Self {
+        Experiment {
+            workload: workload.into(),
+            cfg: SimConfig::default(),
+            dschemes: Vec::new(),
+            ischemes: Vec::new(),
+            store: StoreSel::None,
+            policy: ExecPolicy::Auto,
+        }
+    }
+
+    /// One of the seven built-in paper kernels, at the configured
+    /// [`scale`](Experiment::scale).
+    pub fn kernel(bench: Benchmark) -> Self {
+        Self::new(WorkloadSpec::Kernel(bench))
+    }
+
+    /// Any workload by identity (see [`WorkloadSpec::Id`]).
+    pub fn workload(id: WorkloadId) -> Self {
+        Self::new(WorkloadSpec::Id(id))
+    }
+
+    /// An already-recorded trace under the given identity.
+    pub fn recorded(id: WorkloadId, trace: impl Into<Arc<RecordedTrace>>) -> Self {
+        Self::new(WorkloadSpec::Recorded { id, trace: trace.into() })
+    }
+
+    /// A deterministic synthetic access pattern.
+    pub fn synthetic(spec: SynthSpec) -> Self {
+        Self::new(WorkloadSpec::Synthetic(spec))
+    }
+
+    /// An external memory-trace log, format picked by file extension
+    /// unless overridden with [`format`](Experiment::format).
+    pub fn ingest(path: impl Into<PathBuf>) -> Self {
+        Self::new(WorkloadSpec::Log { path: path.into(), format: None })
+    }
+}
+
+impl<'s> Experiment<'s> {
+    /// Replaces the whole simulation configuration (geometry, scale,
+    /// technology) at once.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the cache geometry for both I- and D-caches.
+    pub fn geometry(mut self, geometry: Geometry) -> Self {
+        self.cfg.geometry = geometry;
+        self
+    }
+
+    /// Sets the workload scale factor (1 = default kernel sizes). Only
+    /// [`Experiment::kernel`] workloads read it; a workload given as a
+    /// bare [`WorkloadId::Kernel`] carries its own scale, which wins.
+    pub fn scale(mut self, scale: u32) -> Self {
+        self.cfg.scale = scale;
+        self
+    }
+
+    /// Sets the technology / operating point for the power models.
+    pub fn technology(mut self, technology: Technology) -> Self {
+        self.cfg.technology = technology;
+        self
+    }
+
+    /// Sets the D-cache schemes to evaluate, replacing any previous set.
+    /// Accepts arrays, vecs, or any iterator — e.g. the named presets
+    /// [`fig4_dschemes`](crate::presets::fig4_dschemes) /
+    /// [`full_dschemes`](crate::presets::full_dschemes).
+    pub fn dschemes(mut self, schemes: impl IntoIterator<Item = DScheme>) -> Self {
+        self.dschemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Sets the I-cache schemes to evaluate, replacing any previous set.
+    /// Accepts arrays, vecs, or any iterator — e.g.
+    /// [`fig6_ischemes`](crate::presets::fig6_ischemes) /
+    /// [`full_ischemes`](crate::presets::full_ischemes).
+    pub fn ischemes(mut self, schemes: impl IntoIterator<Item = IScheme>) -> Self {
+        self.ischemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Overrides the log grammar for [`ingest`](Experiment::ingest)
+    /// workloads (no effect on other workload kinds).
+    pub fn format(mut self, format: LogFormat) -> Self {
+        if let WorkloadSpec::Log { format: f, .. } = &mut self.workload {
+            *f = Some(format);
+        }
+        self
+    }
+
+    /// Threads a shared [`TraceStore`] through the run: the workload is
+    /// produced (interpreted / parsed / generated) at most once per
+    /// store lifetime; every later run with the same workload — any
+    /// geometry, any scheme set, any thread — replays the cached trace.
+    pub fn store(mut self, store: &'s TraceStore) -> Self {
+        self.store = StoreSel::Borrowed(store);
+        self
+    }
+
+    /// Like [`store`](Experiment::store), but with a store owned by the
+    /// experiment and wired from the environment
+    /// ([`TraceStore::from_env`]): `WAYMEM_TRACE_CACHE` enables a
+    /// persistent cache dir, `WAYMEM_TRACE_CACHE_MAX_BYTES` caps it.
+    pub fn store_from_env(mut self) -> Self {
+        self.store = StoreSel::Owned(TraceStore::from_env());
+        self
+    }
+
+    /// Sets the execution policy (default [`ExecPolicy::Auto`]).
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Runs the experiment: resolve → record-or-load → replay.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError`] when the workload cannot be produced — a kernel that
+    /// fails to assemble or halt, an unreadable or malformed log, or an
+    /// external [`WorkloadId`] no store holds. Replay itself is
+    /// infallible.
+    pub fn run(self) -> Result<SimResult, RunError> {
+        // A serial kernel run without a store can skip materializing the
+        // trace entirely, feeding the front-ends per event straight from
+        // the interpreter (bit-identical; pinned by tests/experiment.rs).
+        if let (WorkloadSpec::Kernel(bench), StoreSel::None) = (&self.workload, &self.store) {
+            let serial = match self.policy {
+                ExecPolicy::Serial => true,
+                ExecPolicy::Auto => {
+                    !crate::run::replay_in_parallel(self.dschemes.len() + self.ischemes.len())
+                }
+                ExecPolicy::Parallel => false,
+            };
+            if serial {
+                return run_kernel_fanout(*bench, &self.cfg, &self.dschemes, &self.ischemes);
+            }
+        }
+        Ok(self.prepare()?.run())
+    }
+
+    /// Resolves the workload — hashing, store lookup, and production —
+    /// without replaying, so callers can inspect the trace and the
+    /// ingestion metadata (or amortize one resolution over custom
+    /// logic) before [`Prepared::run`] replays it.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Experiment::run).
+    pub fn prepare(self) -> Result<Prepared, RunError> {
+        let Experiment { workload, cfg, dschemes, ischemes, store, policy } = self;
+        let store = store.get();
+        let mut ingest_meta = None;
+        let (id, source_hash, trace) = match workload {
+            WorkloadSpec::Kernel(bench) => {
+                resolve_kernel(bench, cfg.scale, &cfg, store)?
+            }
+            WorkloadSpec::Id(WorkloadId::Kernel { benchmark, scale }) => {
+                resolve_kernel(benchmark, scale, &cfg, store)?
+            }
+            WorkloadSpec::Id(WorkloadId::Synthetic(spec))
+            | WorkloadSpec::Synthetic(spec) => {
+                let id = WorkloadId::Synthetic(spec);
+                let hash = synth::source_hash(spec);
+                let trace = match store {
+                    Some(s) => s
+                        .get_or_record(id, hash, || {
+                            Ok::<_, std::convert::Infallible>(synth::generate(spec))
+                        })
+                        .unwrap_or_else(|e| match e {}),
+                    None => Arc::new(synth::generate(spec)),
+                };
+                (id, hash, trace)
+            }
+            WorkloadSpec::Id(id @ WorkloadId::External { hash }) => {
+                // Only a store (e.g. a warm persistent cache dir) can
+                // resolve a bare external id — there is nothing to
+                // re-produce it from.
+                let trace = match store {
+                    Some(s) => {
+                        s.get_or_record(id, hash, || Err(RunError::MissingTrace { id }))?
+                    }
+                    None => return Err(RunError::MissingTrace { id }),
+                };
+                (id, hash, trace)
+            }
+            WorkloadSpec::Recorded { id, trace } => (id, 0, trace),
+            WorkloadSpec::Log { path, format } => match store {
+                // With a store, hash the raw bytes up front: a warm
+                // `.wmtr` hit then skips the parse (and the event
+                // materialization) entirely — for a multi-GB capture
+                // the parse *is* the cost.
+                Some(s) => {
+                    let hash = hash_file(&path).map_err(|e| RunError::Ingest {
+                        path: path.clone(),
+                        message: format!("cannot read: {e}"),
+                    })?;
+                    let id = WorkloadId::External { hash };
+                    let trace = s.get_or_record(id, hash, || {
+                        let (trace, parsed_hash, meta) = parse_log(&path, format)?;
+                        // The parser folds the identical byte stream into
+                        // FNV-1a64; divergence means the file changed
+                        // between the hash and the parse (or a parser
+                        // regression) — either way the cache key would
+                        // lie about the trace it maps to.
+                        if parsed_hash != hash {
+                            return Err(RunError::Ingest {
+                                path: path.clone(),
+                                message: format!(
+                                    "file changed while being ingested \
+                                     (hashed {hash:016x}, parsed {parsed_hash:016x})"
+                                ),
+                            });
+                        }
+                        ingest_meta = Some(meta);
+                        Ok(trace)
+                    })?;
+                    (id, hash, trace)
+                }
+                // Store-less, the up-front hash would only double the
+                // file I/O: parse once and take the identity from the
+                // hash the parser streams.
+                None => {
+                    let (trace, hash, meta) = parse_log(&path, format)?;
+                    ingest_meta = Some(meta);
+                    (WorkloadId::External { hash }, hash, Arc::new(trace))
+                }
+            },
+        };
+        Ok(Prepared { id, source_hash, trace, cfg, dschemes, ischemes, policy, ingest_meta })
+    }
+}
+
+/// Resolves a kernel workload at an explicit scale: record through the
+/// store when one is present (verified against [`kernel_source_hash`]),
+/// interpret directly otherwise.
+fn resolve_kernel(
+    bench: Benchmark,
+    scale: u32,
+    cfg: &SimConfig,
+    store: Option<&TraceStore>,
+) -> Result<(WorkloadId, u64, Arc<RecordedTrace>), RunError> {
+    let id = WorkloadId::kernel(bench, scale);
+    let hash = kernel_source_hash(bench, scale);
+    let record_cfg = SimConfig { scale, ..*cfg };
+    let trace = match store {
+        Some(s) => s.get_or_record(id, hash, || record_trace(bench, &record_cfg))?,
+        None => Arc::new(record_trace(bench, &record_cfg)?),
+    };
+    Ok((id, hash, trace))
+}
+
+/// Parses a log file into a trace plus its streamed content hash and
+/// ingestion metadata, mapping every failure — unreadable file,
+/// malformed line, empty capture — to a structured [`RunError::Ingest`].
+fn parse_log(
+    path: &Path,
+    format: Option<LogFormat>,
+) -> Result<(RecordedTrace, u64, IngestMeta), RunError> {
+    let format = format.unwrap_or_else(|| LogFormat::for_path(path));
+    let ingest_err = |message: String| RunError::Ingest { path: path.to_path_buf(), message };
+    let file = std::fs::File::open(path).map_err(|e| ingest_err(format!("cannot open: {e}")))?;
+    let ingested = parse(format, std::io::BufReader::new(file))
+        .map_err(|e| ingest_err(e.to_string()))?;
+    if ingested.trace.is_empty() {
+        return Err(ingest_err("log contains no accesses".to_owned()));
+    }
+    let meta = IngestMeta {
+        format,
+        lines: ingested.lines,
+        skipped: ingested.skipped,
+    };
+    Ok((ingested.trace, ingested.source_hash, meta))
+}
+
+/// What a log ingestion observed, when this experiment actually parsed
+/// the file (a warm store hit skips the parse, and the metadata with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestMeta {
+    /// The grammar the log was parsed with.
+    pub format: LogFormat,
+    /// Total lines read, including skipped ones.
+    pub lines: u64,
+    /// Lines skipped as blanks, comments or valgrind banners.
+    pub skipped: u64,
+}
+
+/// A resolved experiment: workload identity settled, trace in hand,
+/// replay pending. Produced by [`Experiment::prepare`].
+#[derive(Debug)]
+#[must_use = "a Prepared experiment does nothing until .run()"]
+pub struct Prepared {
+    id: WorkloadId,
+    source_hash: u64,
+    trace: Arc<RecordedTrace>,
+    cfg: SimConfig,
+    dschemes: Vec<DScheme>,
+    ischemes: Vec<IScheme>,
+    policy: ExecPolicy,
+    ingest_meta: Option<IngestMeta>,
+}
+
+impl Prepared {
+    /// The workload's settled identity.
+    #[must_use]
+    pub fn workload_id(&self) -> WorkloadId {
+        self.id
+    }
+
+    /// The workload's staleness fingerprint (0 for
+    /// [`WorkloadSpec::Recorded`], which has no external source).
+    #[must_use]
+    pub fn source_hash(&self) -> u64 {
+        self.source_hash
+    }
+
+    /// The resolved trace about to be replayed.
+    #[must_use]
+    pub fn trace(&self) -> &Arc<RecordedTrace> {
+        &self.trace
+    }
+
+    /// Ingestion metadata, when this resolution actually parsed a log
+    /// (`None` for non-log workloads and for warm store hits).
+    #[must_use]
+    pub fn ingest_meta(&self) -> Option<IngestMeta> {
+        self.ingest_meta
+    }
+
+    /// Replays the resolved trace across every requested scheme under
+    /// the experiment's policy. Infallible: everything that can fail
+    /// already happened in [`Experiment::prepare`].
+    #[must_use]
+    pub fn run(self) -> SimResult {
+        replay_with_policy(
+            self.id,
+            &self.trace,
+            &self.cfg,
+            &self.dschemes,
+            &self.ischemes,
+            self.policy,
+        )
+    }
+}
+
+/// Multi-workload fan-out with shared configuration: the suite-level
+/// companion to [`Experiment`], fanning its workloads out across scoped
+/// worker threads under the same [`ExecPolicy`] knob.
+///
+/// ```no_run
+/// use waymem_sim::{presets, Suite};
+///
+/// # fn main() -> Result<(), waymem_sim::RunError> {
+/// let results = Suite::kernels() // the paper's seven benchmarks
+///     .dschemes(presets::fig4_dschemes())
+///     .run()?;
+/// assert_eq!(results.len(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+#[must_use = "a Suite does nothing until .run()"]
+pub struct Suite<'s> {
+    workloads: Vec<WorkloadSpec>,
+    cfg: SimConfig,
+    dschemes: Vec<DScheme>,
+    ischemes: Vec<IScheme>,
+    store: StoreSel<'s>,
+    policy: ExecPolicy,
+}
+
+impl Default for Suite<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Suite<'_> {
+    /// An empty suite; add workloads with [`workload`](Suite::workload)
+    /// / [`workloads`](Suite::workloads).
+    pub fn new() -> Self {
+        Suite {
+            workloads: Vec::new(),
+            cfg: SimConfig::default(),
+            dschemes: Vec::new(),
+            ischemes: Vec::new(),
+            store: StoreSel::None,
+            policy: ExecPolicy::Auto,
+        }
+    }
+
+    /// The paper's evaluation suite: all seven benchmark kernels, in
+    /// [`Benchmark::ALL`] order.
+    pub fn kernels() -> Self {
+        Self::new().workloads(Benchmark::ALL)
+    }
+}
+
+impl<'s> Suite<'s> {
+    /// Appends one workload (anything an [`Experiment`] accepts:
+    /// a [`Benchmark`], [`SynthSpec`], [`WorkloadId`], log path, or a
+    /// full [`WorkloadSpec`]).
+    pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Self {
+        self.workloads.push(workload.into());
+        self
+    }
+
+    /// Appends many workloads at once.
+    pub fn workloads<W: Into<WorkloadSpec>>(
+        mut self,
+        workloads: impl IntoIterator<Item = W>,
+    ) -> Self {
+        self.workloads.extend(workloads.into_iter().map(Into::into));
+        self
+    }
+
+    /// Replaces the whole simulation configuration at once.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the cache geometry for both I- and D-caches.
+    pub fn geometry(mut self, geometry: Geometry) -> Self {
+        self.cfg.geometry = geometry;
+        self
+    }
+
+    /// Sets the workload scale factor (kernel workloads only; a bare
+    /// [`WorkloadId::Kernel`] workload's own scale wins, as on
+    /// [`Experiment::scale`]).
+    pub fn scale(mut self, scale: u32) -> Self {
+        self.cfg.scale = scale;
+        self
+    }
+
+    /// Sets the technology / operating point for the power models.
+    pub fn technology(mut self, technology: Technology) -> Self {
+        self.cfg.technology = technology;
+        self
+    }
+
+    /// Sets the D-cache schemes, replacing any previous set.
+    pub fn dschemes(mut self, schemes: impl IntoIterator<Item = DScheme>) -> Self {
+        self.dschemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Sets the I-cache schemes, replacing any previous set.
+    pub fn ischemes(mut self, schemes: impl IntoIterator<Item = IScheme>) -> Self {
+        self.ischemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Threads a shared [`TraceStore`] through every workload of the
+    /// suite (and, with an outer loop over geometries, through a whole
+    /// sweep).
+    pub fn store(mut self, store: &'s TraceStore) -> Self {
+        self.store = StoreSel::Borrowed(store);
+        self
+    }
+
+    /// Like [`store`](Suite::store), but owned and wired from the
+    /// environment ([`TraceStore::from_env`]).
+    pub fn store_from_env(mut self) -> Self {
+        self.store = StoreSel::Owned(TraceStore::from_env());
+        self
+    }
+
+    /// Sets the execution policy for both fan-out levels: across
+    /// workloads, and across schemes within each workload.
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Runs every workload and collects the results in workload order.
+    ///
+    /// Fan-out is bounded at both levels: at most
+    /// [`std::thread::available_parallelism`] workload workers, each
+    /// running the inner scheme replay under the same policy. Workers
+    /// are joined in workload order, so result order — and which error
+    /// is reported — matches a serial loop exactly.
+    ///
+    /// # Errors
+    ///
+    /// The first [`RunError`] in workload order.
+    pub fn run(self) -> Result<SuiteResult, RunError> {
+        let Suite { workloads, cfg, dschemes, ischemes, store, policy } = self;
+        let store_ref = store.get();
+        let run_one = |w: &WorkloadSpec| {
+            let exp = Experiment {
+                workload: w.clone(),
+                cfg,
+                dschemes: dschemes.clone(),
+                ischemes: ischemes.clone(),
+                store: match store_ref {
+                    Some(s) => StoreSel::Borrowed(s),
+                    None => StoreSel::None,
+                },
+                policy,
+            };
+            exp.run()
+        };
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let parallel = match policy {
+            ExecPolicy::Serial => false,
+            ExecPolicy::Parallel => true,
+            // On a single-core host the workers would only interleave;
+            // run the workloads inline instead (results are identical
+            // either way).
+            ExecPolicy::Auto => workers > 1,
+        };
+        let results: Result<Vec<SimResult>, RunError> = if parallel && workloads.len() > 1 {
+            let chunk = workloads.len().div_ceil(workers).max(1);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = workloads
+                    .chunks(chunk)
+                    .map(|group| {
+                        scope.spawn(move || group.iter().map(run_one).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("suite worker panicked"))
+                    .collect()
+            })
+        } else {
+            workloads.iter().map(run_one).collect()
+        };
+        Ok(SuiteResult {
+            results: results?,
+            store_stats: store_ref.map(TraceStore::stats),
+        })
+    }
+}
+
+/// The outcome of a [`Suite`] run: per-workload results in workload
+/// order, plus a snapshot of the store's accounting when one was
+/// attached. Dereferences to `[SimResult]`, so indexing and iteration
+/// work like on the plain vector the legacy drivers returned.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// One result per workload, in the order the workloads were added.
+    pub results: Vec<SimResult>,
+    /// The attached store's statistics, snapshotted right after the run
+    /// (`None` when the suite ran store-less).
+    pub store_stats: Option<StoreStats>,
+}
+
+impl SuiteResult {
+    /// Consumes the result into the bare per-workload vector.
+    #[must_use]
+    pub fn into_results(self) -> Vec<SimResult> {
+        self.results
+    }
+}
+
+impl std::ops::Deref for SuiteResult {
+    type Target = [SimResult];
+
+    fn deref(&self) -> &[SimResult] {
+        &self.results
+    }
+}
+
+impl IntoIterator for SuiteResult {
+    type Item = SimResult;
+    type IntoIter = std::vec::IntoIter<SimResult>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.results.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SuiteResult {
+    type Item = &'a SimResult;
+    type IntoIter = std::slice::Iter<'a, SimResult>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.results.iter()
+    }
+}

@@ -21,22 +21,47 @@
 //! (Inoue et al., \[12\]) and `WayMemo` (intra-line skip + MAB for
 //! inter-line and non-sequential flow, per Figure 2).
 //!
+//! ## The experiment builder
+//!
+//! [`Experiment`] is the one entry point for every workload × scheme ×
+//! store run — a built-in kernel, an ingested external log, a synthetic
+//! pattern, or a pre-recorded trace, with an optional shared
+//! [`TraceStore`] and an [`ExecPolicy`]; [`Suite`] fans a list of
+//! workloads out with shared settings. The nine legacy `run_*` free
+//! functions are `#[deprecated]` shims over the same pipeline.
+//!
+//! ```
+//! use waymem_sim::{Experiment, DScheme, IScheme};
+//! use waymem_workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), waymem_sim::RunError> {
+//! let result = Experiment::kernel(Benchmark::Dct)
+//!     .dschemes([DScheme::Original, DScheme::WayMemo { tag_entries: 2, set_entries: 8 }])
+//!     .ischemes([IScheme::IntraLine])
+//!     .run()?;
+//! let original = &result.dcache[0];
+//! let waymemo = &result.dcache[1];
+//! assert!(waymemo.stats.tag_reads < original.stats.tag_reads / 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! ## Execution model and thread-safety contract
 //!
-//! [`run_benchmark`] records the CPU's event stream **once** into a
+//! The engine records the CPU's event stream **once** into a
 //! [`RecordedTrace`] — two flat `Vec<TraceEvent>` streams, fetches split
 //! from loads/stores at capture time — and then replays the recorded
 //! slices through every requested front-end **concurrently** on
-//! [`std::thread::scope`] workers, at most one per hardware thread
-//! ([`run::replay_trace`]). Each worker owns its front-ends outright, so
-//! `DFront` and `IFront` are (and
-//! must remain) [`Send`]: they hold only owned cache, memory and buffer
-//! state, with no shared interior mutability — a compile-time assertion in
-//! `frontends/mod.rs` enforces this. The trace itself is shared immutably
-//! (`&[TraceEvent]`), front-ends never observe each other, and workers are
-//! joined in scheme order, so results are bit-identical to a serial run —
-//! `tests/determinism.rs` and [`run_benchmark_fanout`] (the retained
-//! legacy serial driver) pin that equivalence.
+//! [`std::thread::scope`] workers, at most one per hardware thread.
+//! Each worker owns its front-ends outright, so `DFront` and `IFront`
+//! are (and must remain) [`Send`]: they hold only owned cache, memory
+//! and buffer state, with no shared interior mutability — a compile-time
+//! assertion in `frontends/mod.rs` enforces this. The trace itself is
+//! shared immutably (`&[TraceEvent]`), front-ends never observe each
+//! other, and workers are joined in scheme order, so results are
+//! bit-identical to a serial run — `tests/experiment.rs` pins
+//! [`ExecPolicy::Serial`] ≡ [`ExecPolicy::Parallel`] down to the last
+//! `f64` bit.
 //!
 //! ## Accounting rules (uniform across schemes)
 //!
@@ -47,41 +72,37 @@
 //!   reads + 1 way access;
 //! * every line fill adds 1 way write;
 //! * I-cache accesses happen per 8-byte fetch packet, not per instruction.
-//!
-//! ```
-//! use waymem_sim::{run_benchmark, DScheme, IScheme, SimConfig};
-//! use waymem_workloads::Benchmark;
-//!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let cfg = SimConfig::default();
-//! let result = run_benchmark(
-//!     Benchmark::Dct,
-//!     &cfg,
-//!     &[DScheme::Original, DScheme::WayMemo { tag_entries: 2, set_entries: 8 }],
-//!     &[IScheme::IntraLine],
-//! )?;
-//! let original = &result.dcache[0];
-//! let waymemo = &result.dcache[1];
-//! assert!(waymemo.stats.tag_reads < original.stats.tag_reads / 2);
-//! # Ok(())
-//! # }
-//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod experiment;
 pub mod frontends;
+pub mod presets;
 mod report;
 pub mod run;
 
+pub use experiment::{
+    ExecPolicy, Experiment, IngestMeta, Prepared, Suite, SuiteResult, WorkloadSpec,
+};
 pub use frontends::{DFront, DScheme, IFront, IScheme};
+pub use presets::{fig4_dschemes, fig6_ischemes, full_dschemes, full_ischemes};
 pub use report::{format_power_table, format_ratio_table, FigureRow};
 pub use run::{
-    kernel_source_hash, record_trace, replay_trace, run_benchmark, run_benchmark_fanout,
-    run_benchmark_with_store, run_trace, run_trace_with_store, RecordedTrace, RunError,
-    SchemeResult, SimConfig, SimResult,
+    kernel_source_hash, record_trace, RecordedTrace, RunError, SchemeResult, SimConfig,
+    SimResult,
 };
-// The store a sweep threads through `run_benchmark_with_store` and the
-// workload-identity types `run_trace` speaks, re-exported so
-// driver-level callers need not name `waymem-trace` themselves.
+// The deprecated free-function shims stay importable under their old
+// names so downstream code keeps compiling (with a deprecation nudge
+// toward the builder).
+#[allow(deprecated)]
+pub use run::{
+    replay_trace, run_benchmark, run_benchmark_with_store, run_suite, run_suite_serial,
+    run_suite_with_store, run_trace, run_trace_with_store,
+};
+// The store an `Experiment` threads through its pipeline and the
+// workload-identity types it speaks, re-exported so driver-level
+// callers need not name `waymem-trace` themselves; ditto the log-format
+// selector from `waymem-ingest`.
+pub use waymem_ingest::LogFormat;
 pub use waymem_trace::{StoreStats, SynthPattern, SynthSpec, TraceStore, WorkloadId};

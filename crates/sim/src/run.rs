@@ -1,22 +1,30 @@
-//! The experiment driver: a record-once / replay-in-parallel pipeline.
+//! The experiment engine: a record-once / replay-in-parallel pipeline.
 //!
-//! [`run_benchmark`] executes the CPU interpreter exactly once, capturing
-//! the full fetch/load/store stream into a [`RecordedTrace`] — two flat
-//! `Vec<TraceEvent>` streams split at capture time, fetches apart from
-//! loads/stores — then replays that recorded trace through every
-//! requested scheme's front-end concurrently on [`std::thread::scope`]
-//! workers. Each front-end consumes its stream as a slice through the
-//! batched [`TraceSink::events`] entry point, which dispatches to a
-//! monomorphic loop ([`DFront::replay`] / [`IFront::replay`]), so no
-//! per-event virtual dispatch survives on the hot path; power is
-//! composed via Eq. (1) once every worker joins.
-//! Because every front-end sees the identical recorded stream, the results
-//! are bit-identical to the legacy serial fanout ([`run_benchmark_fanout`]),
-//! which is kept as the reference implementation for benches and
-//! cross-validation tests.
+//! The engine executes the CPU interpreter (or a parser / generator)
+//! exactly once, capturing the full fetch/load/store stream into a
+//! [`RecordedTrace`] — two flat `Vec<TraceEvent>` streams split at
+//! capture time, fetches apart from loads/stores — then replays that
+//! recorded trace through every requested scheme's front-end, under an
+//! [`ExecPolicy`]: concurrently on
+//! [`std::thread::scope`] workers, or inline on the calling thread. Each
+//! front-end consumes its stream as a slice through the batched
+//! [`TraceSink::events`] entry point, which dispatches to a monomorphic
+//! loop ([`DFront::replay`] / [`IFront::replay`]), so no per-event
+//! virtual dispatch survives on the hot path; power is composed via
+//! Eq. (1) once every worker joins. Every front-end sees the identical
+//! recorded stream, so all policies are bit-identical — including the
+//! per-event serial fanout that serial kernel runs use to skip the trace
+//! materialization entirely.
+//!
+//! The composable front door to all of this is
+//! [`Experiment`](crate::Experiment) / [`Suite`]
+//! (`experiment` module); this module keeps the engine itself — the
+//! result types, [`record_trace`], and the deprecated free-function
+//! shims the builder replaced.
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 
 use waymem_cache::{AccessStats, Geometry};
 use waymem_hwmodel::{
@@ -26,7 +34,7 @@ use waymem_isa::{AsmError, Cpu, CpuError, FetchKind, RecordingSink, TraceEvent, 
 use waymem_trace::{fnv1a64, TraceStore, WorkloadId};
 use waymem_workloads::Benchmark;
 
-use crate::{DFront, DScheme, IFront, IScheme};
+use crate::{DFront, DScheme, ExecPolicy, IFront, IScheme, Suite, SuiteResult};
 
 /// Simulation configuration shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +57,9 @@ impl Default for SimConfig {
     }
 }
 
-/// Why a simulation run failed.
+/// Why a simulation run failed. Every way an
+/// [`Experiment`](crate::Experiment) can go wrong is one of these — a
+/// bad builder combination is a structured error, never a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
     /// The benchmark's generated assembly failed to assemble.
@@ -61,6 +71,21 @@ pub enum RunError {
         /// The budget that was exhausted.
         max_steps: u64,
     },
+    /// An external log could not be read, parsed, or contained no
+    /// accesses (the I/O or parse failure stringified, so the error
+    /// stays `Clone` + `Eq`).
+    Ingest {
+        /// The log that failed.
+        path: PathBuf,
+        /// What went wrong with it.
+        message: String,
+    },
+    /// The workload names a trace nothing can produce: an external
+    /// [`WorkloadId`] with no attached store holding it.
+    MissingTrace {
+        /// The unresolvable workload.
+        id: WorkloadId,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -71,6 +96,12 @@ impl fmt::Display for RunError {
             RunError::StepLimit { max_steps } => {
                 write!(f, "benchmark did not halt within {max_steps} steps")
             }
+            RunError::Ingest { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            RunError::MissingTrace { id } => {
+                write!(f, "workload {id} has no trace: not held by any attached store")
+            }
         }
     }
 }
@@ -80,7 +111,9 @@ impl Error for RunError {
         match self {
             RunError::Assemble(e) => Some(e),
             RunError::Cpu(e) => Some(e),
-            RunError::StepLimit { .. } => None,
+            RunError::StepLimit { .. }
+            | RunError::Ingest { .. }
+            | RunError::MissingTrace { .. } => None,
         }
     }
 }
@@ -141,8 +174,9 @@ impl SimResult {
 }
 
 /// Legacy serial fanout: forwards each CPU event to every front-end as it
-/// happens. Kept (behind [`run_benchmark_fanout`]) as the reference the
-/// record/replay engine is benchmarked and cross-validated against.
+/// happens. Kept (behind [`run_kernel_fanout`], the serial-policy kernel
+/// path) as the reference the record/replay engine is benchmarked and
+/// cross-validated against.
 struct FanoutSink {
     dfronts: Vec<DFront>,
     ifronts: Vec<IFront>,
@@ -295,15 +329,17 @@ fn ischeme_result(
 /// interleave, so the engine replays inline instead — the numbers are
 /// identical either way (each front-end consumes the same slice in
 /// isolation); only wall-clock differs.
-fn replay_in_parallel(front_count: usize) -> bool {
+pub(crate) fn replay_in_parallel(front_count: usize) -> bool {
     front_count > 1
         && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
 }
 
 /// Replays an already-recorded trace of the kernel `bench` through every
-/// requested scheme's front-end. Equivalent to [`run_trace`] with a
-/// [`WorkloadId::Kernel`] built from `bench` and `cfg.scale`; kept as the
-/// kernel-flavoured entry point benches and tests predate.
+/// requested scheme's front-end.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Experiment::recorded(WorkloadId::kernel(bench, cfg.scale), trace).run()"
+)]
 #[must_use]
 pub fn replay_trace(
     bench: Benchmark,
@@ -312,24 +348,19 @@ pub fn replay_trace(
     dschemes: &[DScheme],
     ischemes: &[IScheme],
 ) -> SimResult {
-    run_trace(WorkloadId::kernel(bench, cfg.scale), trace, cfg, dschemes, ischemes)
+    replay_with_policy(
+        WorkloadId::kernel(bench, cfg.scale),
+        trace,
+        cfg,
+        dschemes,
+        ischemes,
+        ExecPolicy::Auto,
+    )
 }
 
-/// Evaluates **any** recorded trace — a built-in kernel's, an ingested
-/// external log's, a synthetic generator's — across every requested
-/// scheme's front-end on scoped worker threads (inline when the host is
-/// single-core — see [`replay_in_parallel`]). This is the general entry
-/// point the ingest subsystem drives; the kernel runners are thin
-/// wrappers over it.
-///
-/// The fan-out is bounded: schemes are chunked across at most
-/// [`std::thread::available_parallelism`] workers, each replaying its
-/// chunk sequentially, so a long scheme list never spawns more compute
-/// threads than the host has cores. Chunks are joined in scheme order,
-/// so the result vectors keep the order the schemes were given and the
-/// outcome is deterministic: every front-end consumes the identical
-/// event slice independently, so the numbers are bit-identical to a
-/// serial replay (pinned by `tests/determinism.rs`).
+/// Evaluates **any** recorded trace across every requested scheme's
+/// front-end.
+#[deprecated(since = "0.1.0", note = "use Experiment::recorded(workload, trace).run()")]
 #[must_use]
 pub fn run_trace(
     workload: WorkloadId,
@@ -338,9 +369,38 @@ pub fn run_trace(
     dschemes: &[DScheme],
     ischemes: &[IScheme],
 ) -> SimResult {
+    replay_with_policy(workload, trace, cfg, dschemes, ischemes, ExecPolicy::Auto)
+}
+
+/// The replay half of the engine: evaluates a recorded trace — a
+/// built-in kernel's, an ingested external log's, a synthetic
+/// generator's — across every requested scheme's front-end, under the
+/// given [`ExecPolicy`].
+///
+/// The parallel fan-out is bounded: schemes are chunked across at most
+/// [`std::thread::available_parallelism`] workers, each replaying its
+/// chunk sequentially, so a long scheme list never spawns more compute
+/// threads than the host has cores. Chunks are joined in scheme order,
+/// so the result vectors keep the order the schemes were given and the
+/// outcome is deterministic: every front-end consumes the identical
+/// event slice independently, so the numbers are bit-identical to a
+/// serial replay (pinned by `tests/experiment.rs`).
+pub(crate) fn replay_with_policy(
+    workload: WorkloadId,
+    trace: &RecordedTrace,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+    policy: ExecPolicy,
+) -> SimResult {
+    let parallel = match policy {
+        ExecPolicy::Auto => replay_in_parallel(dschemes.len() + ischemes.len()),
+        ExecPolicy::Parallel => true,
+        ExecPolicy::Serial => false,
+    };
     let data_events = trace.data_events.as_slice();
     let fetch_events = trace.fetch_events.as_slice();
-    let (dfronts, ifronts) = if replay_in_parallel(dschemes.len() + ischemes.len()) {
+    let (dfronts, ifronts) = if parallel {
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
         let chunk = (dschemes.len() + ischemes.len()).div_ceil(workers).max(1);
         std::thread::scope(|scope| {
@@ -416,32 +476,19 @@ pub fn run_trace(
 }
 
 /// Runs `bench` once and returns per-scheme statistics and Eq. (1) power
-/// for every requested D- and I-cache scheme: the CPU is interpreted a
-/// single time into a recorded trace ([`record_trace`]), which is then
-/// replayed across all front-ends in parallel ([`replay_trace`]). All
-/// schemes observe the identical trace, so comparisons are exact.
-///
-/// When parallel replay cannot pay for the recording — a single-core
-/// host, or at most one front-end requested — the driver feeds the
-/// front-ends inline through the serial fanout sink instead, skipping
-/// the trace materialization entirely. Both paths produce bit-identical
-/// results (pinned by `tests/determinism.rs`); only wall-clock differs.
-///
-/// # Errors
-///
-/// Returns [`RunError`] if the kernel fails to assemble, faults, or does
-/// not halt.
+/// for every requested D- and I-cache scheme.
+#[deprecated(since = "0.1.0", note = "use Experiment::kernel(bench).run()")]
 pub fn run_benchmark(
     bench: Benchmark,
     cfg: &SimConfig,
     dschemes: &[DScheme],
     ischemes: &[IScheme],
 ) -> Result<SimResult, RunError> {
-    if !replay_in_parallel(dschemes.len() + ischemes.len()) {
-        return run_benchmark_fanout(bench, cfg, dschemes, ischemes);
-    }
-    let trace = record_trace(bench, cfg)?;
-    Ok(replay_trace(bench, &trace, cfg, dschemes, ischemes))
+    crate::Experiment::kernel(bench)
+        .config(*cfg)
+        .dschemes(dschemes.iter().copied())
+        .ischemes(ischemes.iter().copied())
+        .run()
 }
 
 /// The FNV-1a64 of the kernel's generated assembly source at `scale` —
@@ -472,25 +519,9 @@ pub fn kernel_source_hash(bench: Benchmark, scale: u32) -> u64 {
     hash
 }
 
-/// Like [`run_benchmark`], but sourcing the recorded trace from a shared
-/// [`TraceStore`]: the benchmark is interpreted only on the store's first
-/// miss for its [`WorkloadId`] — every later call (any geometry, any
-/// scheme set, any thread) replays the cached stream. This is the entry
-/// point multi-config sweeps thread one store through; with a
-/// persistent store (cache dir) even the first call may skip
-/// interpretation. Cached copies are verified against
-/// [`kernel_source_hash`], so a stale file (changed kernel generator) is
-/// re-recorded, not replayed.
-///
-/// Replay always goes through the record/replay engine here — with the
-/// trace already in hand, the fanout path's "skip materialization"
-/// advantage no longer exists — and replay of an identical trace is
-/// bit-identical to the fanout (pinned by `tests/determinism.rs`).
-///
-/// # Errors
-///
-/// Returns [`RunError`] if the kernel fails to assemble, faults, or does
-/// not halt. Recording errors are not cached; a later call retries.
+/// Like `run_benchmark`, but sourcing the recorded trace from a shared
+/// [`TraceStore`].
+#[deprecated(since = "0.1.0", note = "use Experiment::kernel(bench).store(&store).run()")]
 pub fn run_benchmark_with_store(
     bench: Benchmark,
     cfg: &SimConfig,
@@ -498,28 +529,22 @@ pub fn run_benchmark_with_store(
     ischemes: &[IScheme],
     store: &TraceStore,
 ) -> Result<SimResult, RunError> {
-    run_trace_with_store(
-        WorkloadId::kernel(bench, cfg.scale),
-        kernel_source_hash(bench, cfg.scale),
-        cfg,
-        dschemes,
-        ischemes,
-        store,
-        || record_trace(bench, cfg),
-    )
+    crate::Experiment::kernel(bench)
+        .config(*cfg)
+        .dschemes(dschemes.iter().copied())
+        .ischemes(ischemes.iter().copied())
+        .store(store)
+        .run()
 }
 
-/// The fully general store-backed runner: evaluates the workload `id`
+/// The custom-producer store-backed runner: evaluates the workload `id`
 /// across all requested schemes, producing its trace at most once per
-/// store lifetime via `record` — the CPU interpreter for kernels, a log
-/// parser for external traces, a generator for synthetic patterns.
-/// `source_hash` (FNV-1a64 of whatever `record` consumes; 0 = skip
-/// verification) guards against stale cache files.
-///
-/// # Errors
-///
-/// Propagates `record`'s error; nothing is cached in that case, so a
-/// later call retries.
+/// store lifetime via `record`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Experiment (kernel/synthetic/ingest resolve their own producer), or \
+            TraceStore::get_or_record + Experiment::recorded for a custom producer"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_trace_with_store<E>(
     id: WorkloadId,
@@ -531,19 +556,21 @@ pub fn run_trace_with_store<E>(
     record: impl FnOnce() -> Result<RecordedTrace, E>,
 ) -> Result<SimResult, E> {
     let trace = store.get_or_record(id, source_hash, record)?;
-    Ok(run_trace(id, &trace, cfg, dschemes, ischemes))
+    Ok(replay_with_policy(id, &trace, cfg, dschemes, ischemes, ExecPolicy::Auto))
 }
 
-/// The pre-record/replay driver: one CPU run with every front-end fed
-/// per event through the serial [`FanoutSink`]. Exists so benches can
-/// measure the engine against its predecessor and so tests can pin the
-/// two paths bit-identical; new code should call [`run_benchmark`].
+/// The pre-record/replay serial engine: one CPU run with every front-end
+/// fed per event through the serial [`FanoutSink`], skipping trace
+/// materialization entirely. This is what [`ExecPolicy::Serial`] (and
+/// `Auto`, when parallel replay cannot pay) resolves to for kernel
+/// workloads without a store; kept private as the reference engine the
+/// parallel replay is cross-validated against.
 ///
 /// # Errors
 ///
 /// Returns [`RunError`] if the kernel fails to assemble, faults, or does
 /// not halt.
-pub fn run_benchmark_fanout(
+pub(crate) fn run_kernel_fanout(
     bench: Benchmark,
     cfg: &SimConfig,
     dschemes: &[DScheme],
@@ -579,9 +606,75 @@ pub fn run_benchmark_fanout(
     })
 }
 
+/// Runs all seven benchmarks under the given schemes, fanning the
+/// benchmarks out across worker threads.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Suite::kernels().dschemes(..).ischemes(..).run()"
+)]
+pub fn run_suite(
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+) -> Result<Vec<SimResult>, RunError> {
+    Suite::kernels()
+        .config(*cfg)
+        .dschemes(dschemes.iter().copied())
+        .ischemes(ischemes.iter().copied())
+        .run()
+        .map(SuiteResult::into_results)
+}
+
+/// `run_suite` with a shared [`TraceStore`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use Suite::kernels().dschemes(..).ischemes(..).store(&store).run()"
+)]
+pub fn run_suite_with_store(
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+    store: &TraceStore,
+) -> Result<Vec<SimResult>, RunError> {
+    Suite::kernels()
+        .config(*cfg)
+        .dschemes(dschemes.iter().copied())
+        .ischemes(ischemes.iter().copied())
+        .store(store)
+        .run()
+        .map(SuiteResult::into_results)
+}
+
+/// The fully serial suite driver: benchmarks one after another, each
+/// feeding every front-end per event through the serial fanout sink.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Suite::kernels().policy(ExecPolicy::Serial)…run()"
+)]
+pub fn run_suite_serial(
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+) -> Result<Vec<SimResult>, RunError> {
+    Suite::kernels()
+        .config(*cfg)
+        .dschemes(dschemes.iter().copied())
+        .ischemes(ischemes.iter().copied())
+        .policy(ExecPolicy::Serial)
+        .run()
+        .map(SuiteResult::into_results)
+}
+
 #[cfg(test)]
 mod tests {
+    // These unit tests deliberately keep exercising the deprecated shims:
+    // they are the in-crate proof that every shim stays bit-identical to
+    // the `Experiment` pipeline it forwards to. Workspace-level code is
+    // held to the builder API by `tests/deprecation_tripwire.rs`.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::Experiment;
 
     fn paper_schemes() -> (Vec<DScheme>, Vec<IScheme>) {
         (
@@ -675,8 +768,71 @@ mod tests {
         let (d, i) = paper_schemes();
         let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
         let replayed = replay_trace(Benchmark::Dct, &trace, &cfg, &d, &i);
-        let fanout = run_benchmark_fanout(Benchmark::Dct, &cfg, &d, &i).expect("fanout runs");
+        let fanout = run_kernel_fanout(Benchmark::Dct, &cfg, &d, &i).expect("fanout runs");
         assert_results_identical(&replayed, &fanout);
+    }
+
+    #[test]
+    fn experiment_builder_matches_every_legacy_shim() {
+        // The shims must be pure plumbing: each one bit-identical to the
+        // builder chain its deprecation note names.
+        let cfg = SimConfig::default();
+        let (d, i) = paper_schemes();
+
+        let legacy = run_benchmark(Benchmark::Dct, &cfg, &d, &i).expect("legacy runs");
+        let built = Experiment::kernel(Benchmark::Dct)
+            .dschemes(d.iter().copied())
+            .ischemes(i.iter().copied())
+            .run()
+            .expect("builder runs");
+        assert_results_identical(&legacy, &built);
+
+        let trace = record_trace(Benchmark::Dct, &cfg).expect("records");
+        let legacy = run_trace(
+            WorkloadId::kernel(Benchmark::Dct, 1),
+            &trace,
+            &cfg,
+            &d,
+            &i,
+        );
+        let built = Experiment::recorded(
+            WorkloadId::kernel(Benchmark::Dct, 1),
+            trace.clone(),
+        )
+        .dschemes(d.iter().copied())
+        .ischemes(i.iter().copied())
+        .run()
+        .expect("builder replays");
+        assert_results_identical(&legacy, &built);
+
+        let legacy_store = TraceStore::new();
+        let built_store = TraceStore::new();
+        let legacy = run_benchmark_with_store(Benchmark::Dct, &cfg, &d, &i, &legacy_store)
+            .expect("legacy store run");
+        let built = Experiment::kernel(Benchmark::Dct)
+            .dschemes(d.iter().copied())
+            .ischemes(i.iter().copied())
+            .store(&built_store)
+            .run()
+            .expect("builder store run");
+        assert_results_identical(&legacy, &built);
+        assert_eq!(legacy_store.stats().records, built_store.stats().records);
+
+        let legacy = run_suite(&cfg, &d, &i).expect("legacy suite");
+        let built = crate::Suite::kernels()
+            .dschemes(d.iter().copied())
+            .ischemes(i.iter().copied())
+            .run()
+            .expect("builder suite");
+        assert_eq!(legacy.len(), built.len());
+        for (a, b) in legacy.iter().zip(built.iter()) {
+            assert_results_identical(a, b);
+        }
+
+        let serial = run_suite_serial(&cfg, &d, &i).expect("legacy serial suite");
+        for (a, b) in serial.iter().zip(legacy.iter()) {
+            assert_results_identical(a, b);
+        }
     }
 
     #[test]

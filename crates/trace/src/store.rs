@@ -10,7 +10,7 @@
 //! the same `Arc<RecordedTrace>`.
 //!
 //! With a cache directory configured, recordings also persist to disk in
-//! the [`codec`](crate::codec) wire format, so *separate process
+//! the [`codec`](mod@crate::codec) wire format, so *separate process
 //! invocations* skip the production too: a cold `headline` run records
 //! and saves, a warm one loads and reports zero records.
 //!
@@ -218,6 +218,21 @@ impl TraceStore {
         std::env::var("WAYMEM_TRACE_CACHE_MAX_BYTES")
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
+    }
+
+    /// The store a process wires up from its environment:
+    /// `WAYMEM_TRACE_CACHE=<dir>` enables persistence under `dir`,
+    /// `WAYMEM_TRACE_CACHE_MAX_BYTES=<n>` caps that directory with
+    /// oldest-mtime eviction. Unset variables mean a memory-only store /
+    /// no cap. Library code and tests should configure the store
+    /// explicitly instead — this reads global process state.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var_os("WAYMEM_TRACE_CACHE") {
+            Some(dir) => TraceStore::with_cache_dir(PathBuf::from(dir))
+                .with_cache_limit(Self::cache_cap_from_env()),
+            None => TraceStore::new(),
+        }
     }
 
     /// The persistence directory, if one was configured.

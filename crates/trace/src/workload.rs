@@ -56,25 +56,46 @@ pub enum SynthPattern {
         /// Number of nodes in the chased cycle (≥ 1).
         nodes: u32,
     },
-    /// A zipf-like skewed working set: most accesses land in a hot set of
-    /// `hot_lines` cache lines, the rest scatter over a cold region. The
+    /// A zipf(α)-skewed working set: most accesses land in a hot set of
+    /// `hot_lines` cache lines with true zipf rank probabilities
+    /// (alias-table sampled), the rest scatter over a cold region. The
     /// MAB's best case.
     ZipfHotSet {
         /// Number of 32-byte lines in the hot set (≥ 1).
         hot_lines: u32,
+        /// The zipf exponent α in centi-units (fixed point, so the spec
+        /// stays `Eq`/`Hash`): rank `k` is drawn with probability
+        /// ∝ 1/(k+1)^(α/100). 100 is the classic α = 1.0; 0 degenerates
+        /// to a uniform hot set.
+        alpha_centi: u32,
+    },
+    /// A phase-change workload: a zipf-hot working set that *migrates* to
+    /// a fresh memory region `phases` times over the trace — the regime
+    /// where memoized state goes cold all at once and must be relearned.
+    PhaseChange {
+        /// Number of 32-byte lines in each phase's hot set (≥ 1).
+        hot_lines: u32,
+        /// Number of distinct hot-set regions the trace walks through
+        /// (≥ 1); the hot set migrates `phases − 1` times.
+        phases: u32,
     },
 }
 
 impl SynthPattern {
     /// Compact token used in labels and cache file names, e.g.
-    /// `stride64`, `chase512`.
+    /// `stride64`, `chase512`, `zipf64a100`, `phase32p4`.
     #[must_use]
     pub fn token(self) -> String {
         match self {
             SynthPattern::Stream => "stream".to_owned(),
             SynthPattern::Strided { stride } => format!("stride{stride}"),
             SynthPattern::PointerChase { nodes } => format!("chase{nodes}"),
-            SynthPattern::ZipfHotSet { hot_lines } => format!("zipf{hot_lines}"),
+            SynthPattern::ZipfHotSet { hot_lines, alpha_centi } => {
+                format!("zipf{hot_lines}a{alpha_centi}")
+            }
+            SynthPattern::PhaseChange { hot_lines, phases } => {
+                format!("phase{hot_lines}p{phases}")
+            }
         }
     }
 
@@ -89,7 +110,21 @@ impl SynthPattern {
             return Some(SynthPattern::PointerChase { nodes: v.parse().ok()? });
         }
         if let Some(v) = token.strip_prefix("zipf") {
-            return Some(SynthPattern::ZipfHotSet { hot_lines: v.parse().ok()? });
+            // `zipf{hot}a{alpha_centi}`; the pre-α token `zipf{hot}` is
+            // deliberately rejected, so cache files from the skew-hack
+            // generator read as foreign instead of current.
+            let (hot, alpha) = v.split_once('a')?;
+            return Some(SynthPattern::ZipfHotSet {
+                hot_lines: hot.parse().ok()?,
+                alpha_centi: alpha.parse().ok()?,
+            });
+        }
+        if let Some(v) = token.strip_prefix("phase") {
+            let (hot, phases) = v.split_once('p')?;
+            return Some(SynthPattern::PhaseChange {
+                hot_lines: hot.parse().ok()?,
+                phases: phases.parse().ok()?,
+            });
         }
         None
     }
@@ -267,9 +302,14 @@ mod tests {
                 seed: 1,
             }),
             WorkloadId::Synthetic(SynthSpec {
-                pattern: SynthPattern::ZipfHotSet { hot_lines: 64 },
+                pattern: SynthPattern::ZipfHotSet { hot_lines: 64, alpha_centi: 100 },
                 accesses: u32::MAX,
                 seed: u32::MAX,
+            }),
+            WorkloadId::Synthetic(SynthSpec {
+                pattern: SynthPattern::PhaseChange { hot_lines: 32, phases: 4 },
+                accesses: 100_000,
+                seed: 9,
             }),
         ];
         for id in ids {
@@ -288,6 +328,8 @@ mod tests {
             "synth-stream.wmtr",        // missing params
             "synth-warp9-a1-r1.wmtr",   // unknown pattern
             "synth-stride-a1-r1.wmtr",  // missing stride value
+            "synth-zipf64-a1-r1.wmtr",  // pre-α zipf token (stale generator)
+            "synth-phase32-a1-r1.wmtr", // phase token missing phase count
         ] {
             assert_eq!(WorkloadId::from_file_name(name), None, "{name}");
         }
@@ -298,11 +340,17 @@ mod tests {
         assert_eq!(WorkloadId::kernel(Benchmark::Dct, 2).name(), "DCT");
         assert_eq!(WorkloadId::External { hash: 0xabc }.name(), "ext-0000000000000abc");
         let spec = SynthSpec {
-            pattern: SynthPattern::ZipfHotSet { hot_lines: 64 },
+            pattern: SynthPattern::ZipfHotSet { hot_lines: 64, alpha_centi: 100 },
             accesses: 10,
             seed: 1,
         };
-        assert_eq!(WorkloadId::Synthetic(spec).name(), "zipf64");
-        assert_eq!(WorkloadId::Synthetic(spec).to_string(), "zipf64");
+        assert_eq!(WorkloadId::Synthetic(spec).name(), "zipf64a100");
+        assert_eq!(WorkloadId::Synthetic(spec).to_string(), "zipf64a100");
+        let spec = SynthSpec {
+            pattern: SynthPattern::PhaseChange { hot_lines: 32, phases: 4 },
+            accesses: 10,
+            seed: 1,
+        };
+        assert_eq!(WorkloadId::Synthetic(spec).name(), "phase32p4");
     }
 }

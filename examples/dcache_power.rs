@@ -12,7 +12,6 @@
 use waymem::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = SimConfig::default();
     let schemes = [
         DScheme::Original,
         DScheme::SetBuffer { entries: 1 },
@@ -32,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "benchmark", "original", "set_buffer[14]", "filter[6]", "way_pred[9]", "2-phase[8]", "MAB 2x8", "MAB+linebuf"
     );
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg, &schemes, &[])?;
+        let r = Experiment::kernel(bench).dschemes(schemes).run()?;
         print!("{:<12}", r.workload.name());
         for s in &r.dcache {
             let penalty = if s.extra_cycles > 0 {

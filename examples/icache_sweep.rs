@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut totals = vec![0.0f64; schemes.len()];
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg, &[], &schemes)?;
+        let r = Experiment::kernel(bench).ischemes(schemes.clone()).run()?;
         print!("{:<12}", r.workload.name());
         for (i, s) in r.icache.iter().enumerate() {
             totals[i] += s.power.total_mw();

@@ -4,12 +4,11 @@
 //! in for a real capture — e.g. valgrind lackey output piped through a
 //! converter, or your own tool's log), parses it with `waymem-ingest`,
 //! and runs it through conventional lookup and the paper's way
-//! memoization via the general `run_trace` driver.
+//! memoization via the `Experiment` builder.
 //!
 //! Run with: `cargo run --example ingest_trace`
 
 use waymem::prelude::*;
-use waymem::trace::fnv1a64;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A toy workload: a tight loop streaming over a small hot buffer.
@@ -40,15 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Evaluate every scheme on the ingested trace — same engine, same
-    // accounting as the paper's benchmarks.
-    let cfg = SimConfig::default();
-    let result = run_trace(
-        ingested.workload_id(),
-        &ingested.trace,
-        &cfg,
-        &[DScheme::Original, DScheme::paper_way_memo()],
-        &[IScheme::Original, IScheme::paper_way_memo()],
-    );
+    // accounting as the paper's benchmarks. (`Experiment::ingest(&path)`
+    // would parse for us; handing over the parsed trace shows the
+    // recorded-workload route.)
+    let result = Experiment::recorded(ingested.workload_id(), ingested.trace.clone())
+        .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+        .ischemes([IScheme::Original, IScheme::paper_way_memo()])
+        .run()?;
     for (side, schemes) in [("D", &result.dcache), ("I", &result.icache)] {
         for s in schemes {
             println!(
@@ -61,20 +58,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // The same run through a store caches the parsed trace: a second
-    // process would skip parsing entirely (and the content hash guards
-    // against replaying a stale file if the log changes).
+    // The ingest workload through a store caches the parsed trace: the
+    // file is hashed first, so a second run (here; or a second process,
+    // with a persistent cache dir) skips parsing entirely — and the
+    // content hash guards against replaying a stale file if the log
+    // changes.
     let store = TraceStore::new();
-    let again = run_trace_with_store(
-        ingested.workload_id(),
-        fnv1a64(log.as_bytes()),
-        &cfg,
-        &[DScheme::Original],
-        &[IScheme::Original],
-        &store,
-        || Ok::<_, std::convert::Infallible>(ingested.trace.clone()),
-    )?;
-    assert_eq!(again.cycles, result.cycles);
+    for _ in 0..2 {
+        let again = Experiment::ingest(&path)
+            .dschemes([DScheme::Original])
+            .ischemes([IScheme::Original])
+            .store(&store)
+            .run()?;
+        assert_eq!(again.cycles, result.cycles);
+    }
     println!("store: {:?} lookups -> {} records", store.stats().lookups, store.stats().records);
 
     std::fs::remove_file(&path).ok();

@@ -9,14 +9,12 @@ use waymem::prelude::*;
 use waymem::sim::format_power_table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // The paper's setup: 32 kB 2-way caches, 2x8 D-MAB, 2x16 I-MAB.
-    let cfg = SimConfig::default();
-    let result = run_benchmark(
-        Benchmark::Dct,
-        &cfg,
-        &[DScheme::Original, DScheme::paper_way_memo()],
-        &[IScheme::Original, IScheme::paper_way_memo()],
-    )?;
+    // The paper's setup: 32 kB 2-way caches, 2x8 D-MAB, 2x16 I-MAB —
+    // all `Experiment` defaults, so only workload and schemes to pick.
+    let result = Experiment::kernel(Benchmark::Dct)
+        .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+        .ischemes([IScheme::Original, IScheme::paper_way_memo()])
+        .run()?;
 
     println!("benchmark: {} ({} cycles)\n", result.workload, result.cycles);
 

@@ -17,23 +17,23 @@
 //! * [`ingest`] — external trace ingestion: Valgrind Lackey / CSV log
 //!   parsers and synthetic access-pattern generators, so *any* memory
 //!   trace runs through every lookup scheme;
-//! * [`sim`] — cache front-ends for every scheme and the experiment
-//!   driver (Figures 4–8), including the general
-//!   [`run_trace`](sim::run_trace) entry point.
+//! * [`sim`] — cache front-ends for every scheme and the composable
+//!   [`Experiment`](sim::Experiment) / [`Suite`](sim::Suite) builder
+//!   behind every run (Figures 4–8 included).
 //!
 //! ## Quickstart
 //!
+//! Every run — any workload, any scheme set, store-backed or not — goes
+//! through the same builder:
+//!
 //! ```
-//! use waymem::sim::{run_benchmark, DScheme, IScheme, SimConfig};
-//! use waymem::workloads::Benchmark;
+//! use waymem::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let result = run_benchmark(
-//!     Benchmark::Dct,
-//!     &SimConfig::default(),
-//!     &[DScheme::Original, DScheme::paper_way_memo()],
-//!     &[IScheme::Original, IScheme::paper_way_memo()],
-//! )?;
+//! let result = Experiment::kernel(Benchmark::Dct)
+//!     .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+//!     .ischemes([IScheme::Original, IScheme::paper_way_memo()])
+//!     .run()?;
 //! let saved = 1.0
 //!     - result.dcache[1].power.total_mw() / result.dcache[0].power.total_mw();
 //! println!("D-cache power saving on DCT: {:.0}%", saved * 100.0);
@@ -64,9 +64,13 @@ pub mod prelude {
     pub use waymem_hwmodel::Technology;
     pub use waymem_ingest::{parse_path, Ingested, LogFormat};
     pub use waymem_sim::{
-        run_benchmark, run_benchmark_with_store, run_trace, run_trace_with_store, DScheme,
-        IScheme, SimConfig, SimResult,
+        DScheme, ExecPolicy, Experiment, IScheme, RunError, SimConfig, SimResult, Suite,
+        SuiteResult, WorkloadSpec,
     };
+    // The deprecated free-function shims stay importable for code that
+    // predates the builder.
+    #[allow(deprecated)]
+    pub use waymem_sim::{run_benchmark, run_benchmark_with_store, run_trace, run_trace_with_store};
     pub use waymem_trace::{SynthPattern, SynthSpec, TraceStore, WorkloadId};
     pub use waymem_workloads::Benchmark;
 }

@@ -1,0 +1,92 @@
+//! The deprecation tripwire: no workspace binary, example, bench, or
+//! test may *call* the deprecated `run_*` shims — everything drives the
+//! `Experiment` / `Suite` builder. The shims themselves (and the unit
+//! tests pinning them bit-identical to the builder) live in
+//! `crates/sim/src`, which is the one place exempted.
+//!
+//! The check looks for `<name>(` — a call or a definition — so `pub use`
+//! re-exports and doc prose mentioning the old names stay legal.
+
+use std::path::{Path, PathBuf};
+
+/// The shims the builder replaced. `run_benchmark_fanout` was deleted
+/// outright (its engine survives as `ExecPolicy::Serial`), so any
+/// reappearance is also a tripwire hit.
+const DEPRECATED: &[&str] = &[
+    "replay_trace",
+    "run_benchmark",
+    "run_benchmark_fanout",
+    "run_benchmark_with_store",
+    "run_trace",
+    "run_trace_with_store",
+    "run_suite",
+    "run_suite_serial",
+    "run_suite_with_store",
+];
+
+/// Every `.rs` file under `dir`, recursively.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_workspace_code_calls_the_deprecated_shims() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for dir in ["src", "examples", "tests", "benches"] {
+        rust_files(&root.join(dir), &mut files);
+    }
+    for crate_dir in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        let crate_dir = crate_dir.expect("entry").path();
+        for sub in ["src", "tests", "benches"] {
+            // `crates/sim/src` holds the shims and their equivalence
+            // tests; everything else is fair game.
+            if crate_dir.file_name().is_some_and(|n| n == "sim") && sub == "src" {
+                continue;
+            }
+            rust_files(&crate_dir.join(sub), &mut files);
+        }
+    }
+    assert!(files.len() > 30, "walker found too few files: {}", files.len());
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(file).expect("readable source");
+        for (lineno, line) in source.lines().enumerate() {
+            for name in DEPRECATED {
+                // A call (or fn definition) is the name immediately
+                // followed by an opening paren; the preceding char has
+                // to be a non-identifier boundary so a longer name
+                // never counts as a shorter prefix of itself.
+                for (pos, _) in line.match_indices(&format!("{name}(")) {
+                    let head_ok = pos == 0
+                        || !line[..pos]
+                            .chars()
+                            .next_back()
+                            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                    if head_ok {
+                        violations.push(format!(
+                            "{}:{}: calls deprecated `{name}`: {}",
+                            file.strip_prefix(root).unwrap_or(file).display(),
+                            lineno + 1,
+                            line.trim()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "deprecated run_* shims are still called — migrate to Experiment/Suite:\n{}",
+        violations.join("\n")
+    );
+}

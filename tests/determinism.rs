@@ -5,8 +5,37 @@
 //! benchmark under the same [`SimConfig`] have to produce *identical*
 //! accounting and power numbers, down to the last f64 bit.
 
+use std::sync::Arc;
+
+use waymem::isa::RecordedTrace;
 use waymem::prelude::*;
 use waymem::sim::SchemeResult;
+
+fn paper_schemes() -> (Vec<DScheme>, Vec<IScheme>) {
+    (
+        vec![DScheme::Original, DScheme::paper_way_memo()],
+        vec![IScheme::Original, IScheme::paper_way_memo()],
+    )
+}
+
+/// The kernel experiment all tests here drive, under a given policy.
+fn kernel_exp(bench: Benchmark, policy: ExecPolicy) -> Experiment<'static> {
+    let (d, i) = paper_schemes();
+    Experiment::kernel(bench).dschemes(d).ischemes(i).policy(policy)
+}
+
+/// Replay of an explicit recorded trace under a given policy.
+fn replay_exp(
+    bench: Benchmark,
+    trace: Arc<RecordedTrace>,
+    policy: ExecPolicy,
+) -> Experiment<'static> {
+    let (d, i) = paper_schemes();
+    Experiment::recorded(WorkloadId::kernel(bench, 1), trace)
+        .dschemes(d)
+        .ischemes(i)
+        .policy(policy)
+}
 
 fn power_bits(r: &SchemeResult) -> [u64; 4] {
     [
@@ -38,13 +67,10 @@ fn assert_identical(a: &SimResult, b: &SimResult) {
 }
 
 #[test]
-fn run_benchmark_is_bit_identical_across_runs() {
-    let cfg = SimConfig::default();
-    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
-    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
+fn experiment_runs_are_bit_identical_across_runs() {
     for bench in [Benchmark::Dct, Benchmark::Fft] {
-        let first = run_benchmark(bench, &cfg, &dschemes, &ischemes).expect("first run");
-        let second = run_benchmark(bench, &cfg, &dschemes, &ischemes).expect("second run");
+        let first = kernel_exp(bench, ExecPolicy::Auto).run().expect("first run");
+        let second = kernel_exp(bench, ExecPolicy::Auto).run().expect("second run");
         assert_identical(&first, &second);
         // The runs must also do real work, or bit-identity is vacuous.
         assert!(first.cycles > 50_000, "{bench}: suspiciously small run");
@@ -55,19 +81,18 @@ fn run_benchmark_is_bit_identical_across_runs() {
 
 #[test]
 fn parallel_replay_is_bit_identical_to_serial_fanout() {
-    // The record-once/replay-in-parallel engine must reproduce the legacy
+    // The record-once/replay-in-parallel engine must reproduce the
     // per-event fanout exactly: same trace, same per-front state
-    // evolution, same f64 bits out of Eq. (1). The engine is exercised
-    // explicitly (record + replay), not through `run_benchmark`, which on
-    // single-core hosts is free to pick the fanout path itself.
+    // evolution, same f64 bits out of Eq. (1). `ExecPolicy::Parallel`
+    // forces the replay engine even on single-core hosts;
+    // `ExecPolicy::Serial` on a store-less kernel is the fanout.
     let cfg = SimConfig::default();
-    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
-    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
     for bench in [Benchmark::Dct, Benchmark::Fft] {
         let trace = waymem::sim::record_trace(bench, &cfg).expect("records");
-        let replayed = waymem::sim::replay_trace(bench, &trace, &cfg, &dschemes, &ischemes);
-        let fanout =
-            waymem::sim::run_benchmark_fanout(bench, &cfg, &dschemes, &ischemes).expect("fanout");
+        let replayed = replay_exp(bench, Arc::new(trace), ExecPolicy::Parallel)
+            .run()
+            .expect("replays");
+        let fanout = kernel_exp(bench, ExecPolicy::Serial).run().expect("fanout");
         assert_identical(&replayed, &fanout);
     }
 }
@@ -79,33 +104,41 @@ fn decoded_trace_replays_bit_identical_to_in_memory_trace() {
     // disk-cached trace does) has to drive every front-end to the exact
     // same f64 bits as the trace that never left memory.
     let cfg = SimConfig::default();
-    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
-    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
     for bench in [Benchmark::Dct, Benchmark::Fft] {
         let trace = waymem::sim::record_trace(bench, &cfg).expect("records");
         let bytes = waymem::trace::encode(&trace);
         let decoded = waymem::trace::decode(&bytes).expect("decodes");
         assert_eq!(decoded, trace, "{bench}: decode must be the identity");
-        let in_memory = waymem::sim::replay_trace(bench, &trace, &cfg, &dschemes, &ischemes);
-        let from_disk = waymem::sim::replay_trace(bench, &decoded, &cfg, &dschemes, &ischemes);
+        let in_memory = replay_exp(bench, Arc::new(trace), ExecPolicy::Auto)
+            .run()
+            .expect("replays");
+        let from_disk = replay_exp(bench, Arc::new(decoded), ExecPolicy::Auto)
+            .run()
+            .expect("replays");
         assert_identical(&in_memory, &from_disk);
     }
 }
 
 #[test]
 fn store_backed_run_is_bit_identical_to_direct_run() {
-    // `run_benchmark_with_store` must be a pure caching layer: same
+    // An `Experiment` with a store must be a pure caching layer: same
     // results as recording + replaying directly, cold and warm alike.
     let cfg = SimConfig::default();
-    let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
-    let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
     let store = TraceStore::new();
     let trace = waymem::sim::record_trace(Benchmark::Dct, &cfg).expect("records");
-    let direct = waymem::sim::replay_trace(Benchmark::Dct, &trace, &cfg, &dschemes, &ischemes);
-    let cold = run_benchmark_with_store(Benchmark::Dct, &cfg, &dschemes, &ischemes, &store)
-        .expect("cold");
-    let warm = run_benchmark_with_store(Benchmark::Dct, &cfg, &dschemes, &ischemes, &store)
-        .expect("warm");
+    let direct = replay_exp(Benchmark::Dct, Arc::new(trace), ExecPolicy::Auto)
+        .run()
+        .expect("replays");
+    let (d, i) = paper_schemes();
+    let stored = |store| {
+        Experiment::kernel(Benchmark::Dct)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .store(store)
+            .run()
+    };
+    let cold = stored(&store).expect("cold");
+    let warm = stored(&store).expect("warm");
     assert_identical(&direct, &cold);
     assert_identical(&cold, &warm);
     assert_eq!(store.stats().records, 1);
@@ -117,10 +150,12 @@ fn recorded_trace_replays_identically_twice() {
     // Replay must not mutate the trace or leak state between runs: two
     // replays of one recorded trace yield identical AccessStats.
     let cfg = SimConfig::default();
-    let dschemes = [DScheme::paper_way_memo()];
-    let ischemes = [IScheme::paper_way_memo()];
-    let trace = waymem::sim::record_trace(Benchmark::Dct, &cfg).expect("records");
-    let first = waymem::sim::replay_trace(Benchmark::Dct, &trace, &cfg, &dschemes, &ischemes);
-    let second = waymem::sim::replay_trace(Benchmark::Dct, &trace, &cfg, &dschemes, &ischemes);
+    let trace = Arc::new(waymem::sim::record_trace(Benchmark::Dct, &cfg).expect("records"));
+    let first = replay_exp(Benchmark::Dct, trace.clone(), ExecPolicy::Auto)
+        .run()
+        .expect("replays");
+    let second = replay_exp(Benchmark::Dct, trace, ExecPolicy::Auto)
+        .run()
+        .expect("replays");
     assert_identical(&first, &second);
 }

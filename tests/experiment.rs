@@ -1,0 +1,396 @@
+//! The `Experiment` / `Suite` builder, end to end through the façade:
+//! policy equivalence (Serial ≡ Parallel ≡ Auto, bit-exact), every
+//! workload kind (kernel, recorded, synthetic, ingested log, bare id),
+//! store transparency, and a property test that no builder combination —
+//! however hostile — ever panics: every bad input is a structured
+//! [`RunError`].
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use waymem::ingest::synth;
+use waymem::isa::RecordedTrace;
+use waymem::prelude::*;
+use waymem::sim::SchemeResult;
+
+fn power_bits(r: &SchemeResult) -> [u64; 4] {
+    [
+        r.power.data_mw.to_bits(),
+        r.power.tag_mw.to_bits(),
+        r.power.mab_mw.to_bits(),
+        r.power.buffer_mw.to_bits(),
+    ]
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult) {
+    assert_eq!(a.workload, b.workload);
+    assert_eq!(a.cycles, b.cycles, "{}: cycle counts differ", a.workload);
+    assert_eq!(a.dcache.len(), b.dcache.len());
+    assert_eq!(a.icache.len(), b.icache.len());
+    for (x, y) in a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache)) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.stats, y.stats, "{}/{}: access stats differ", a.workload, x.name);
+        assert_eq!(x.energy, y.energy, "{}/{}: energy counts differ", a.workload, x.name);
+        assert_eq!(x.extra_cycles, y.extra_cycles);
+        assert_eq!(
+            power_bits(x),
+            power_bits(y),
+            "{}/{}: power not bit-identical",
+            a.workload,
+            x.name
+        );
+    }
+}
+
+fn schemes() -> (Vec<DScheme>, Vec<IScheme>) {
+    (
+        vec![DScheme::Original, DScheme::paper_way_memo()],
+        vec![IScheme::Original, IScheme::paper_way_memo()],
+    )
+}
+
+/// A little CSV log on disk, cleaned up on drop.
+struct TempLog(std::path::PathBuf);
+
+impl TempLog {
+    fn new(name: &str, content: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("waymem-exp-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).expect("write temp log");
+        TempLog(path)
+    }
+
+    fn csv(name: &str) -> Self {
+        let mut log = String::new();
+        for i in 0u32..500 {
+            log.push_str(&format!("fetch,0x{:x},4\n", 0x1000 + 4 * (i % 16)));
+            log.push_str(&format!("load,0x{:x},4\n", 0x8000 + 4 * (i % 64)));
+        }
+        Self::new(&format!("{name}.csv"), &log)
+    }
+}
+
+impl Drop for TempLog {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn every_policy_is_bit_identical_for_kernels() {
+    let (d, i) = schemes();
+    let run = |policy| {
+        Experiment::kernel(Benchmark::Fft)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .policy(policy)
+            .run()
+            .expect("runs")
+    };
+    let auto = run(ExecPolicy::Auto);
+    let serial = run(ExecPolicy::Serial);
+    let parallel = run(ExecPolicy::Parallel);
+    assert_identical(&auto, &serial);
+    assert_identical(&auto, &parallel);
+}
+
+#[test]
+fn every_policy_is_bit_identical_for_synthetics() {
+    let (d, i) = schemes();
+    let spec = SynthSpec {
+        pattern: SynthPattern::ZipfHotSet { hot_lines: 64, alpha_centi: 130 },
+        accesses: 20_000,
+        seed: 5,
+    };
+    let run = |policy| {
+        Experiment::synthetic(spec)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .policy(policy)
+            .run()
+            .expect("runs")
+    };
+    let serial = run(ExecPolicy::Serial);
+    let parallel = run(ExecPolicy::Parallel);
+    assert_identical(&serial, &parallel);
+    assert!(serial.dcache[0].stats.accesses >= 20_000);
+}
+
+#[test]
+fn phase_change_synthetic_runs_as_an_experiment_workload() {
+    // The ROADMAP's phase-change pattern, straight through the builder:
+    // migrating hot sets must hurt the MAB more than a stationary hot
+    // set of the same size (every migration cold-starts its state).
+    let run = |pattern| {
+        let r = Experiment::synthetic(SynthSpec { pattern, accesses: 50_000, seed: 3 })
+            .dschemes([DScheme::paper_way_memo()])
+            .run()
+            .expect("runs");
+        let s = &r.dcache[0].stats;
+        assert!(s.is_consistent());
+        s.mab_hit_rate()
+    };
+    let stationary = run(SynthPattern::ZipfHotSet { hot_lines: 64, alpha_centi: 0 });
+    let migrating = run(SynthPattern::PhaseChange { hot_lines: 64, phases: 16 });
+    assert!(migrating > 0.0, "the MAB still learns within phases");
+    assert!(
+        migrating < stationary,
+        "migration must cost MAB hits: {migrating:.3} vs stationary {stationary:.3}"
+    );
+}
+
+#[test]
+fn synthetic_experiment_is_store_transparent_and_deterministic() {
+    let (d, i) = schemes();
+    let spec = SynthSpec {
+        pattern: SynthPattern::PhaseChange { hot_lines: 32, phases: 4 },
+        accesses: 10_000,
+        seed: 1,
+    };
+    let run_plain = || {
+        Experiment::synthetic(spec)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .run()
+            .expect("runs")
+    };
+    let store = TraceStore::new();
+    let plain = run_plain();
+    assert_identical(&plain, &run_plain());
+    for _ in 0..2 {
+        let stored = Experiment::synthetic(spec)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .store(&store)
+            .run()
+            .expect("runs");
+        assert_identical(&plain, &stored);
+    }
+    assert_eq!(store.stats().records, 1, "generated once, replayed twice");
+}
+
+#[test]
+fn ingested_log_matches_recorded_trace_route() {
+    let log = TempLog::csv("route");
+    let (d, i) = schemes();
+    let ingested = parse_path(&log.0).expect("parses");
+    let via_ingest = Experiment::ingest(&log.0)
+        .dschemes(d.clone())
+        .ischemes(i.clone())
+        .run()
+        .expect("ingest runs");
+    let via_recorded = Experiment::recorded(ingested.workload_id(), ingested.trace)
+        .dschemes(d)
+        .ischemes(i)
+        .run()
+        .expect("recorded runs");
+    assert_identical(&via_ingest, &via_recorded);
+}
+
+#[test]
+fn warm_ingest_skips_the_parse_and_reports_no_meta() {
+    let log = TempLog::csv("warm");
+    let store = TraceStore::new();
+    let exp = || {
+        Experiment::ingest(&log.0)
+            .dschemes([DScheme::Original])
+            .store(&store)
+    };
+    let cold = exp().prepare().expect("cold prepare");
+    assert!(cold.ingest_meta().is_some(), "cold run parses");
+    let cold_result = cold.run();
+    let warm = exp().prepare().expect("warm prepare");
+    assert!(warm.ingest_meta().is_none(), "warm run replays the cache");
+    assert_identical(&cold_result, &warm.run());
+    assert_eq!(store.stats().records, 1);
+}
+
+#[test]
+fn bare_external_id_resolves_only_through_a_store() {
+    let id = WorkloadId::External { hash: 0xfeed };
+    let err = Experiment::workload(id)
+        .dschemes([DScheme::Original])
+        .run()
+        .expect_err("nothing to produce the trace from");
+    assert_eq!(err, RunError::MissingTrace { id });
+
+    // With a store that holds the trace, the same id replays it.
+    let store = TraceStore::new();
+    let trace = synth::generate(SynthSpec {
+        pattern: SynthPattern::Stream,
+        accesses: 100,
+        seed: 1,
+    });
+    store
+        .get_or_record(id, 0xfeed, || Ok::<_, std::convert::Infallible>(trace))
+        .expect("seeds the store");
+    let r = Experiment::workload(id)
+        .dschemes([DScheme::Original])
+        .store(&store)
+        .run()
+        .expect("resolves through the store");
+    assert_eq!(r.workload, id);
+}
+
+#[test]
+fn ingest_failures_are_structured_errors() {
+    // Unreadable file.
+    let missing = Experiment::ingest("/nonexistent/waymem-no-such-log.csv")
+        .run()
+        .expect_err("missing file");
+    assert!(matches!(missing, RunError::Ingest { .. }), "{missing}");
+
+    // Malformed line: error carries the path and the parser's message.
+    let bad = TempLog::new("bad.csv", "load,0x10,4\nnot a record\n");
+    let err = Experiment::ingest(&bad.0).run().expect_err("malformed log");
+    match &err {
+        RunError::Ingest { path, message } => {
+            assert_eq!(path, &bad.0);
+            assert!(message.contains("line 2"), "{message}");
+        }
+        other => panic!("expected Ingest, got {other:?}"),
+    }
+
+    // Empty capture.
+    let empty = TempLog::new("empty.csv", "# nothing here\n");
+    let err = Experiment::ingest(&empty.0).run().expect_err("empty log");
+    assert!(matches!(err, RunError::Ingest { .. }), "{err}");
+}
+
+#[test]
+fn suite_mixes_workload_kinds_in_order() {
+    let store = TraceStore::new();
+    let spec = SynthSpec {
+        pattern: SynthPattern::Strided { stride: 64 },
+        accesses: 5_000,
+        seed: 1,
+    };
+    let log = TempLog::csv("suite");
+    let results = Suite::new()
+        .workload(Benchmark::Dct)
+        .workload(spec)
+        .workload(log.0.clone())
+        .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+        .store(&store)
+        .run()
+        .expect("mixed suite runs");
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].workload, WorkloadId::kernel(Benchmark::Dct, 1));
+    assert_eq!(results[1].workload, WorkloadId::Synthetic(spec));
+    assert!(matches!(results[2].workload, WorkloadId::External { .. }));
+    let stats = results.store_stats.expect("store attached");
+    assert_eq!(stats.records, 3, "one production per workload");
+}
+
+#[test]
+fn suite_policies_are_bit_identical() {
+    let (d, i) = schemes();
+    let run = |policy| {
+        Suite::kernels()
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .policy(policy)
+            .run()
+            .expect("suite runs")
+    };
+    let serial = run(ExecPolicy::Serial);
+    let parallel = run(ExecPolicy::Parallel);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        assert_identical(a, b);
+    }
+}
+
+/// A tiny hand-built trace for the proptest's recorded-workload arm.
+fn tiny_trace(events: u32) -> RecordedTrace {
+    use waymem::isa::{FetchKind, TraceEvent};
+    RecordedTrace {
+        fetch_events: (0..events)
+            .map(|k| TraceEvent::Fetch { pc: 0x1000 + 4 * k, kind: FetchKind::Sequential })
+            .collect(),
+        data_events: (0..events / 2)
+            .map(|k| TraceEvent::Load { base: 0x8000 + 8 * k, disp: 0, addr: 0x8000 + 8 * k, size: 4 })
+            .collect(),
+        cycles: u64::from(events),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any combination the builder accepts either runs or returns a
+    /// structured `RunError` — never a panic, whatever the workload,
+    /// scheme subset, geometry, policy or store choice.
+    #[test]
+    fn random_builder_configurations_never_panic(
+        wl_kind in 0u8..5,
+        pattern_kind in 0u8..5,
+        param in 0u32..300,
+        accesses in 0u32..800,
+        seed: u32,
+        nd in 0usize..4,
+        ni in 0usize..4,
+        policy_kind in 0u8..3,
+        use_store in proptest::bool::ANY,
+        geom_kind in 0u8..3,
+    ) {
+        let pattern = match pattern_kind {
+            0 => SynthPattern::Stream,
+            1 => SynthPattern::Strided { stride: param },
+            2 => SynthPattern::PointerChase { nodes: param },
+            3 => SynthPattern::ZipfHotSet {
+                hot_lines: param,
+                alpha_centi: param.wrapping_mul(7),
+            },
+            _ => SynthPattern::PhaseChange { hot_lines: param, phases: param % 9 },
+        };
+        let spec = SynthSpec { pattern, accesses, seed };
+        // Junk or valid content, exercised through the real parser.
+        let log = TempLog::new(
+            &format!("prop-{seed}.csv"),
+            if seed.is_multiple_of(2) { "load,0x10,4\n" } else { "??garbage??\n\u{fffd},,,9\n" },
+        );
+        let workload = match wl_kind {
+            0 => WorkloadSpec::from(spec),
+            1 => WorkloadSpec::Recorded {
+                id: WorkloadId::External { hash: u64::from(seed) },
+                trace: Arc::new(tiny_trace(accesses)),
+            },
+            2 => WorkloadSpec::from(WorkloadId::External { hash: u64::from(param) }),
+            3 => WorkloadSpec::from(Benchmark::Dct),
+            _ => WorkloadSpec::from(log.0.clone()),
+        };
+        let policy = match policy_kind {
+            0 => ExecPolicy::Auto,
+            1 => ExecPolicy::Serial,
+            _ => ExecPolicy::Parallel,
+        };
+        let geometry = match geom_kind {
+            0 => Geometry::frv(),
+            1 => Geometry::new(16, 2, 32).expect("valid"),
+            _ => Geometry::new(128, 8, 16).expect("valid"),
+        };
+        let store = TraceStore::new();
+        let mut exp = Experiment::new(workload)
+            .geometry(geometry)
+            .dschemes(waymem::sim::full_dschemes().into_iter().take(nd))
+            .ischemes(waymem::sim::full_ischemes().into_iter().take(ni))
+            .policy(policy);
+        if use_store {
+            exp = exp.store(&store);
+        }
+        match exp.run() {
+            Ok(r) => {
+                prop_assert_eq!(r.dcache.len(), nd);
+                prop_assert_eq!(r.icache.len(), ni);
+                for s in r.dcache.iter().chain(r.icache.iter()) {
+                    prop_assert!(s.stats.is_consistent(), "{}", s.name);
+                }
+            }
+            // Structured failure is a pass: the property is "no panic".
+            Err(e) => {
+                let rendered = e.to_string();
+                prop_assert!(!rendered.is_empty());
+            }
+        }
+    }
+}

@@ -4,8 +4,13 @@
 
 use waymem::prelude::*;
 
-fn cfg() -> SimConfig {
-    SimConfig::default()
+/// One kernel experiment under the paper's default configuration.
+fn run(bench: Benchmark, dschemes: &[DScheme], ischemes: &[IScheme]) -> SimResult {
+    Experiment::kernel(bench)
+        .dschemes(dschemes.iter().copied())
+        .ischemes(ischemes.iter().copied())
+        .run()
+        .expect("runs")
 }
 
 #[test]
@@ -16,7 +21,7 @@ fn figure4_shape_holds_on_every_benchmark() {
         DScheme::paper_way_memo(),
     ];
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg(), &dschemes, &[]).expect("runs");
+        let r = run(bench, &dschemes, &[]);
         let orig = &r.dcache[0].stats;
         let sb = &r.dcache[1].stats;
         let ours = &r.dcache[2].stats;
@@ -49,7 +54,7 @@ fn figure5_power_ordering_holds() {
     ];
     let mut savings = Vec::new();
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg(), &dschemes, &[]).expect("runs");
+        let r = run(bench, &dschemes, &[]);
         let orig = r.dcache[0].power.total_mw();
         let ours = r.dcache[2].power.total_mw();
         assert!(ours < orig, "{bench}: ours must beat original");
@@ -84,7 +89,7 @@ fn figure6_icache_tag_reduction_and_mab_size_scaling() {
         },
     ];
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg(), &[], &ischemes).expect("runs");
+        let r = run(bench, &[], &ischemes);
         let orig = &r.icache[0].stats;
         let intra = &r.icache[1].stats;
         let ours8 = &r.icache[2].stats;
@@ -115,7 +120,7 @@ fn figure6_icache_tag_reduction_and_mab_size_scaling() {
 fn figure7_icache_power_ordering() {
     let ischemes = [IScheme::IntraLine, IScheme::paper_way_memo()];
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg(), &[], &ischemes).expect("runs");
+        let r = run(bench, &[], &ischemes);
         let base = r.icache[0].power.total_mw();
         let ours = r.icache[1].power.total_mw();
         assert!(
@@ -131,7 +136,7 @@ fn figure8_total_saving_band() {
     let ischemes = [IScheme::IntraLine, IScheme::paper_way_memo()];
     let mut savings = Vec::new();
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg(), &dschemes, &ischemes).expect("runs");
+        let r = run(bench, &dschemes, &ischemes);
         let baseline = r.dcache[0].power.total_mw() + r.icache[0].power.total_mw();
         let ours = r.dcache[1].power.total_mw() + r.icache[1].power.total_mw();
         savings.push(1.0 - ours / baseline);
@@ -155,7 +160,7 @@ fn no_performance_penalty_for_way_memoization() {
         DScheme::WayPredict,
         DScheme::TwoPhase,
     ];
-    let r = run_benchmark(Benchmark::Compress, &cfg(), &dschemes, &[]).expect("runs");
+    let r = run(Benchmark::Compress, &dschemes, &[]);
     assert_eq!(r.dcache[0].extra_cycles, 0, "the paper's central claim");
     // ... unlike the related-work alternatives.
     assert!(r.dcache[1].extra_cycles > 0, "way prediction mispredicts");
@@ -173,7 +178,7 @@ fn displacements_are_almost_always_narrow() {
     // wide ones, so the claim is measurable rather than structural.
     let dschemes = [DScheme::paper_way_memo()];
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg(), &dschemes, &[]).expect("runs");
+        let r = run(bench, &dschemes, &[]);
         let s = &r.dcache[0].stats;
         let narrow = s.mab_lookups; // lookups counts narrow + wide probes
         assert!(narrow > 0, "{bench}");
@@ -189,9 +194,8 @@ fn related_work_ordering_matches_section_2() {
     // [11] is competitive but pays link bits. Check the orderings on two
     // contrasting benchmarks.
     for &bench in &[Benchmark::Dct, Benchmark::Dhrystone] {
-        let r = run_benchmark(
+        let r = run(
             bench,
-            &cfg(),
             &[],
             &[
                 IScheme::Original,
@@ -200,8 +204,7 @@ fn related_work_ordering_matches_section_2() {
                 IScheme::ExtendedBtb { entries: 32 },
                 IScheme::paper_way_memo(),
             ],
-        )
-        .expect("runs");
+        );
         let p: Vec<f64> = r.icache.iter().map(|s| s.power.total_mw()).collect();
         let (orig, intra, link, btb, ours) = (p[0], p[1], p[2], p[3], p[4]);
         assert!(intra < orig, "{bench}: [4] must beat original");
@@ -221,13 +224,11 @@ fn related_work_ordering_matches_section_2() {
 fn filter_cache_saves_power_but_pays_cycles() {
     // The paper rejects L0 caches for the performance loss, not the
     // power: verify both sides of that trade-off.
-    let r = run_benchmark(
+    let r = run(
         Benchmark::Dct,
-        &cfg(),
         &[DScheme::Original, DScheme::FilterCache { lines: 4 }],
         &[],
-    )
-    .expect("runs");
+    );
     let filter = &r.dcache[1];
     assert!(filter.power.total_mw() < r.dcache[0].power.total_mw());
     assert!(filter.extra_cycles > 0, "L0 misses cost cycles");
@@ -241,7 +242,7 @@ fn mpeg2enc_is_among_the_best_savers() {
     let ischemes = [IScheme::IntraLine, IScheme::paper_way_memo()];
     let mut savings = Vec::new();
     for &bench in &Benchmark::ALL {
-        let r = run_benchmark(bench, &cfg(), &dschemes, &ischemes).expect("runs");
+        let r = run(bench, &dschemes, &ischemes);
         let baseline = r.dcache[0].power.total_mw() + r.icache[0].power.total_mw();
         let ours = r.dcache[1].power.total_mw() + r.icache[1].power.total_mw();
         savings.push((bench, 1.0 - ours / baseline));

@@ -99,17 +99,12 @@ fn smaller_caches_stress_invalidation_without_unsoundness() {
     // A 1 kB cache under a real benchmark forces constant evictions; the
     // known-way debug_asserts in the front-ends catch any stale-way use.
     let geometry = Geometry::new(16, 2, 32).expect("valid");
-    let cfg = SimConfig {
-        geometry,
-        ..SimConfig::default()
-    };
-    let r = run_benchmark(
-        Benchmark::JpegEnc,
-        &cfg,
-        &[DScheme::paper_way_memo()],
-        &[IScheme::paper_way_memo()],
-    )
-    .expect("runs");
+    let r = Experiment::kernel(Benchmark::JpegEnc)
+        .geometry(geometry)
+        .dschemes([DScheme::paper_way_memo()])
+        .ischemes([IScheme::paper_way_memo()])
+        .run()
+        .expect("runs");
     let d = &r.dcache[0].stats;
     assert!(d.misses > 100, "tiny cache must actually miss a lot");
     assert!(d.is_consistent());
@@ -119,24 +114,21 @@ fn smaller_caches_stress_invalidation_without_unsoundness() {
 
 #[test]
 fn all_schemes_observe_identical_access_streams() {
-    let cfg = SimConfig::default();
-    let r = run_benchmark(
-        Benchmark::Whetstone,
-        &cfg,
-        &[
+    let r = Experiment::kernel(Benchmark::Whetstone)
+        .dschemes([
             DScheme::Original,
             DScheme::SetBuffer { entries: 1 },
             DScheme::paper_way_memo(),
             DScheme::WayPredict,
             DScheme::TwoPhase,
-        ],
-        &[
+        ])
+        .ischemes([
             IScheme::Original,
             IScheme::IntraLine,
             IScheme::paper_way_memo(),
-        ],
-    )
-    .expect("runs");
+        ])
+        .run()
+        .expect("runs");
     let d_accesses: Vec<u64> = r.dcache.iter().map(|s| s.stats.accesses).collect();
     assert!(d_accesses.windows(2).all(|w| w[0] == w[1]), "{d_accesses:?}");
     let i_accesses: Vec<u64> = r.icache.iter().map(|s| s.stats.accesses).collect();

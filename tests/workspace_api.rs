@@ -40,20 +40,28 @@ fn prelude_reexports_are_stable() {
     type _TraceStore = prelude::TraceStore;
     type _LogFormat = prelude::LogFormat;
     type _Ingested = prelude::Ingested;
+    // The experiment builder.
+    type _Experiment = prelude::Experiment<'static>;
+    type _Suite = prelude::Suite<'static>;
+    type _SuiteResult = prelude::SuiteResult;
+    type _ExecPolicy = prelude::ExecPolicy;
+    type _WorkloadSpec = prelude::WorkloadSpec;
+    type _RunError = prelude::RunError;
 
-    // `run_trace` must keep its any-workload driver signature.
-    #[allow(clippy::type_complexity)]
-    let _run_trace: fn(
-        prelude::WorkloadId,
-        &waymem::isa::RecordedTrace,
-        &prelude::SimConfig,
-        &[prelude::DScheme],
-        &[prelude::IScheme],
-    ) -> prelude::SimResult = prelude::run_trace;
-
-    // `run_benchmark` must keep its driver signature.
+    // The builder's terminal signatures must stay stable.
     #[allow(clippy::type_complexity)]
     let _run: fn(
+        prelude::Experiment<'static>,
+    ) -> Result<prelude::SimResult, prelude::RunError> = prelude::Experiment::run;
+    #[allow(clippy::type_complexity)]
+    let _run_suite: fn(
+        prelude::Suite<'static>,
+    ) -> Result<prelude::SuiteResult, prelude::RunError> = prelude::Suite::run;
+
+    // The deprecated shims must stay importable (downstream code that
+    // predates the builder keeps compiling).
+    #[allow(deprecated, clippy::type_complexity)]
+    let _legacy_run: fn(
         prelude::Benchmark,
         &prelude::SimConfig,
         &[prelude::DScheme],
@@ -96,22 +104,18 @@ fn hardware_models_answer_the_design_questions() {
 #[test]
 fn geometry_sweep_runs_through_the_facade() {
     // A coarse version of the ablation binary, as an API exercise.
-    let cfg = SimConfig::default();
     let mut last_ratio = f64::INFINITY;
     for set_entries in [1usize, 8] {
-        let r = run_benchmark(
-            Benchmark::Dct,
-            &cfg,
-            &[
+        let r = Experiment::kernel(Benchmark::Dct)
+            .dschemes([
                 DScheme::Original,
                 DScheme::WayMemo {
                     tag_entries: 2,
                     set_entries,
                 },
-            ],
-            &[],
-        )
-        .expect("runs");
+            ])
+            .run()
+            .expect("runs");
         let ratio = r.dcache[1].stats.tag_reads as f64 / r.dcache[0].stats.tag_reads as f64;
         assert!(
             ratio <= last_ratio + 1e-9,
