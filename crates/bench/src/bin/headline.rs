@@ -4,10 +4,12 @@
 //! * total cache power reduced ~30 % on average / 40 % max,
 //! * no performance penalty (zero extra cycles for the MAB schemes).
 //!
-//! It also times the 7-benchmark suite under three engines — the serial
+//! It also times the 7-benchmark suite under four engines — the serial
 //! per-event fanout ([`ExecPolicy::Serial`]), a cold pass through the
 //! shared [`waymem_sim::TraceStore`] (records or disk-loads each trace),
-//! and a warm pass (pure in-memory store hits) — and writes the wall-clocks plus
+//! a warm pass (pure in-memory store hits), and a bounded-memory
+//! streaming pass replaying each trace from its on-disk `.wmtr` file in
+//! batches — and writes the wall-clocks, the streaming events/sec, and
 //! the store's hit/miss/compression accounting to `BENCH_headline.json`,
 //! so the repository tracks its own performance trajectory.
 //!
@@ -19,7 +21,8 @@ use std::time::Instant;
 
 use waymem_bench::json::{store_stats_json, Json};
 use waymem_bench::{geometric_mean, store_from_env};
-use waymem_sim::{DScheme, ExecPolicy, IScheme, Suite};
+use waymem_sim::{DScheme, ExecPolicy, Experiment, IScheme, Suite};
+use waymem_workloads::Benchmark;
 
 fn main() {
     let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
@@ -43,13 +46,38 @@ fn main() {
     let warm = suite().store(&store).run().expect("suite runs");
     let warm_s = warm_start.elapsed().as_secs_f64();
 
+    // Streaming pass: each kernel's trace replays from its on-disk
+    // `.wmtr` file in bounded batches — O(batch) resident memory, the
+    // pipeline that keeps multi-GB captures feasible. Timed per whole
+    // pass; the events/sec figure is the headline streaming number.
+    let stream_start = Instant::now();
+    let mut stream_events: u64 = 0;
+    let mut streamed = Vec::with_capacity(Benchmark::ALL.len());
+    for &bench in &Benchmark::ALL {
+        let prepared = Experiment::kernel(bench)
+            .dschemes(dschemes)
+            .ischemes(ischemes)
+            .store(&store)
+            .streaming(true)
+            .prepare()
+            .expect("streaming prepare");
+        stream_events += prepared.source().len();
+        streamed.push(prepared.run().expect("streaming replay"));
+    }
+    let stream_s = stream_start.elapsed().as_secs_f64();
+    let stream_eps = if stream_s > 0.0 { stream_events as f64 / stream_s } else { 0.0 };
+
     // The engines must agree exactly (tests pin this; cheap re-check).
-    for (a, rest) in serial.iter().zip(results.iter().zip(&warm)) {
-        let (b, c) = rest;
+    for (a, rest) in serial.iter().zip(results.iter().zip(warm.iter().zip(&streamed))) {
+        let (b, (c, s)) = rest;
         assert_eq!(a.cycles, b.cycles, "{}: engines disagree", a.workload);
         assert_eq!(a.cycles, c.cycles, "{}: warm replay disagrees", a.workload);
+        assert_eq!(a.cycles, s.cycles, "{}: streaming replay disagrees", a.workload);
         for (x, y) in a.dcache.iter().zip(&b.dcache).chain(a.icache.iter().zip(&b.icache)) {
             assert_eq!(x.stats, y.stats, "{}/{}: engines disagree", a.workload, x.name);
+        }
+        for (x, y) in a.dcache.iter().zip(&s.dcache).chain(a.icache.iter().zip(&s.icache)) {
+            assert_eq!(x.stats, y.stats, "{}/{}: streaming disagrees", a.workload, x.name);
         }
     }
 
@@ -99,6 +127,12 @@ fn main() {
         serial_s / warm_s
     );
     println!(
+        "streaming replay: {:.1} ms for {} events ({:.0} events/s, O(batch) resident)",
+        stream_s * 1e3,
+        stream_events,
+        stream_eps
+    );
+    println!(
         "trace store: {} lookups, {} hits, {} disk hits, {} records ({:.0}% hit rate), {:.2}x codec compression",
         stats.lookups,
         stats.hits,
@@ -110,7 +144,7 @@ fn main() {
 
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let report = Json::object(vec![
-        ("schema", Json::from("waymem/headline/v2")),
+        ("schema", Json::from("waymem/headline/v3")),
         ("host_threads", Json::from(host_threads as u64)),
         ("benchmarks", Json::from(results.len() as u64)),
         ("dschemes", Json::from(dschemes.len() as u64)),
@@ -120,6 +154,9 @@ fn main() {
         ("store_warm_seconds", Json::from(warm_s)),
         ("cold_speedup", Json::from(serial_s / cold_s)),
         ("warm_speedup", Json::from(serial_s / warm_s)),
+        ("streaming_seconds", Json::from(stream_s)),
+        ("streaming_events", Json::from(stream_events)),
+        ("streaming_events_per_sec", Json::from(stream_eps)),
         ("trace_store", store_stats_json(&stats)),
         ("d_saving_avg_pct", Json::from(d_avg)),
         ("i_saving_avg_pct", Json::from(i_avg)),

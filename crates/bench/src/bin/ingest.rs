@@ -12,6 +12,9 @@
 //! --format lackey|csv  force one grammar for every log
 //! --synth-accesses N   data accesses per synthetic pattern (default 200000)
 //! --no-synth           skip the synthetic pattern suite
+//! --stream             bounded-memory pipeline: parse straight to disk
+//!                      and replay in batches — resident memory is
+//!                      O(batch), not O(trace), so multi-GB captures fit
 //! --out DIR            write BENCH_results.json there (default: cwd)
 //! ```
 //!
@@ -33,15 +36,25 @@ use std::process::ExitCode;
 use waymem_bench::json::{store_stats_json, Json};
 use waymem_bench::{full_dschemes, full_ischemes, store_from_env};
 use waymem_ingest::{synth, LogFormat};
-use waymem_sim::{Experiment, FigureRow, SchemeResult, SimConfig, SimResult, WorkloadId};
+use waymem_sim::{
+    Experiment, FigureRow, Prepared, RunError, SchemeResult, SimConfig, SimResult, TraceSource,
+    WorkloadId,
+};
 
-/// One evaluated workload: where it came from, what ran.
+/// One evaluated workload: where it came from, what ran, how fast the
+/// replay consumed its events.
 struct Row {
     /// Human-readable label for tables and JSON (file name or pattern).
     label: String,
     /// Source description for the JSON metadata.
     source: Json,
     result: SimResult,
+    /// `"streaming"` (bounded-memory disk replay) or `"materialized"`.
+    source_mode: &'static str,
+    /// Wall-clock seconds the replay took.
+    replay_seconds: f64,
+    /// Events (fetch + data) consumed per second of replay.
+    events_per_sec: f64,
 }
 
 struct Options {
@@ -49,12 +62,14 @@ struct Options {
     forced_format: Option<LogFormat>,
     synth_accesses: u32,
     run_synth: bool,
+    streaming: bool,
     out_dir: PathBuf,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ingest [--format lackey|csv] [--synth-accesses N] [--no-synth] [--out DIR] [LOG...]"
+        "usage: ingest [--format lackey|csv] [--synth-accesses N] [--no-synth] [--stream] \
+         [--out DIR] [LOG...]"
     );
     std::process::exit(2);
 }
@@ -65,6 +80,7 @@ fn parse_args() -> Options {
         forced_format: None,
         synth_accesses: 200_000,
         run_synth: true,
+        streaming: false,
         out_dir: PathBuf::from("."),
     };
     let mut args = std::env::args().skip(1);
@@ -82,6 +98,7 @@ fn parse_args() -> Options {
                 None => usage(),
             },
             "--no-synth" => opts.run_synth = false,
+            "--stream" => opts.streaming = true,
             "--out" => match args.next() {
                 Some(dir) => opts.out_dir = PathBuf::from(dir),
                 None => usage(),
@@ -92,6 +109,32 @@ fn parse_args() -> Options {
         }
     }
     opts
+}
+
+/// Replays a prepared experiment, timing the replay and deriving the
+/// streamed-events-per-second figure the JSON export reports first-class.
+fn replay_row(
+    prepared: Prepared,
+    label: String,
+    source: Json,
+    streaming: bool,
+) -> Result<Row, RunError> {
+    let events = prepared.source().len();
+    let start = std::time::Instant::now();
+    let result = prepared.run()?;
+    let replay_seconds = start.elapsed().as_secs_f64();
+    Ok(Row {
+        label,
+        source,
+        result,
+        source_mode: if streaming { "streaming" } else { "materialized" },
+        replay_seconds,
+        events_per_sec: if replay_seconds > 0.0 {
+            events as f64 / replay_seconds
+        } else {
+            0.0
+        },
+    })
 }
 
 fn scheme_json(side: &str, s: &SchemeResult, cycles: u64) -> Json {
@@ -121,12 +164,15 @@ fn scheme_json(side: &str, s: &SchemeResult, cycles: u64) -> Json {
 fn print_tables(row: &Row) {
     let r = &row.result;
     println!(
-        "\n### workload {} ({}) — {} cycles, {} D accesses, {} I accesses",
+        "\n### workload {} ({}) — {} cycles, {} D accesses, {} I accesses \
+         [{} replay: {:.0} events/s]",
         row.label,
         r.workload,
         r.cycles,
         r.dcache.first().map_or(0, |s| s.stats.accesses),
         r.icache.first().map_or(0, |s| s.stats.accesses),
+        row.source_mode,
+        row.events_per_sec,
     );
     for (title, side) in [("D-cache", &r.dcache), ("I-cache", &r.icache)] {
         if side.is_empty() {
@@ -177,6 +223,7 @@ fn main() -> ExitCode {
             .dschemes(dschemes.clone())
             .ischemes(ischemes.clone())
             .store(&store)
+            .streaming(opts.streaming)
             .prepare();
         let prepared = match prepared {
             Ok(p) => p,
@@ -187,10 +234,10 @@ fn main() -> ExitCode {
         };
         let hash = prepared.source_hash();
         let meta = prepared.ingest_meta();
-        let (fetches, data) = (
-            prepared.trace().fetch_events.len(),
-            prepared.trace().data_events.len(),
-        );
+        let (fetches, data) = match prepared.source() {
+            TraceSource::Materialized(t) => (t.fetch_events.len() as u64, t.data_events.len() as u64),
+            TraceSource::Streaming(t) => (t.fetch_count(), t.data_count()),
+        };
         match meta {
             Some(m) => eprintln!(
                 "ingest: {label}: {} lines ({} skipped), {fetches} fetches, {data} loads/stores, hash {hash:016x}",
@@ -213,30 +260,41 @@ fn main() -> ExitCode {
             source.push(("lines".to_owned(), Json::from(m.lines)));
             source.push(("skipped_lines".to_owned(), Json::from(m.skipped)));
         }
-        rows.push(Row { label, source: Json::Object(source), result: prepared.run() });
+        match replay_row(prepared, label, Json::Object(source), opts.streaming) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                eprintln!("ingest: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if opts.run_synth {
         for spec in synth::standard_suite(opts.synth_accesses) {
             let id = WorkloadId::Synthetic(spec);
-            let result = Experiment::synthetic(spec)
+            let prepared = Experiment::synthetic(spec)
                 .config(cfg)
                 .dschemes(dschemes.clone())
                 .ischemes(ischemes.clone())
                 .store(&store)
-                .run()
-                .expect("infallible generator");
-            rows.push(Row {
-                label: id.name(),
-                source: Json::object(vec![
-                    ("kind", Json::from("synthetic")),
-                    ("pattern", Json::from(spec.pattern.token())),
-                    ("accesses", Json::from(spec.accesses)),
-                    ("seed", Json::from(spec.seed)),
-                    ("generator_version", Json::from(synth::GENERATOR_VERSION)),
-                ]),
-                result,
-            });
+                .streaming(opts.streaming)
+                .prepare();
+            let source = Json::object(vec![
+                ("kind", Json::from("synthetic")),
+                ("pattern", Json::from(spec.pattern.token())),
+                ("accesses", Json::from(spec.accesses)),
+                ("seed", Json::from(spec.seed)),
+                ("generator_version", Json::from(synth::GENERATOR_VERSION)),
+            ]);
+            let row = prepared
+                .and_then(|p| replay_row(p, id.name(), source, opts.streaming));
+            match row {
+                Ok(row) => rows.push(row),
+                Err(e) => {
+                    eprintln!("ingest: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
 
@@ -255,6 +313,9 @@ fn main() -> ExitCode {
             ("workload", Json::from(row.label.clone())),
             ("id", Json::from(r.workload.name())),
             ("cycles", Json::from(r.cycles)),
+            ("source_mode", Json::from(row.source_mode)),
+            ("replay_seconds", Json::from(row.replay_seconds)),
+            ("events_per_sec", Json::from(row.events_per_sec)),
             ("source", row.source.clone()),
         ]));
         for (side, schemes) in [("D", &r.dcache), ("I", &r.icache)] {

@@ -145,6 +145,7 @@ pub fn store_stats_json(stats: &waymem_trace::StoreStats) -> Json {
         ("lookups", Json::from(stats.lookups)),
         ("hits", Json::from(stats.hits)),
         ("disk_hits", Json::from(stats.disk_hits)),
+        ("stream_opens", Json::from(stats.stream_opens)),
         ("records", Json::from(stats.records)),
         ("hit_rate", Json::from(stats.hit_rate())),
         ("stale", Json::from(stats.stale)),
@@ -168,6 +169,7 @@ mod tests {
         for key in [
             "lookups",
             "records",
+            "stream_opens",
             "hit_rate",
             "stale",
             "compression_ratio",

@@ -120,3 +120,63 @@ fn persistent_store_skips_interpretation_on_the_second_instance() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn warm_streaming_opens_never_rematerialize_the_event_vector() {
+    // The satellite fix this test pins: a warm streaming open over a
+    // cache dir streams straight from the `.wmtr` file. It must not run
+    // the producer (records stays 0) and — the actual bug — must not
+    // decode the file back into a `Vec<TraceEvent>`: `raw_bytes` counts
+    // the in-memory footprint of every materialized trace, so a warm
+    // streaming instance has to finish with `raw_bytes == 0`.
+    let dir = std::env::temp_dir().join(format!("waymem-store-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (d, i) = schemes();
+    let cfg = SimConfig::default();
+    let run_one = |store: &TraceStore, streaming: bool| {
+        Experiment::kernel(Benchmark::Dct)
+            .config(cfg)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+            .store(store)
+            .streaming(streaming)
+            .run()
+    };
+
+    // Cold streaming instance: produces the file once, straight through
+    // the streaming encoder — no event vector exists even here.
+    let cold_store = TraceStore::with_cache_dir(&dir);
+    let cold = run_one(&cold_store, true).expect("cold streaming run");
+    let stats = cold_store.stats();
+    assert_eq!(stats.records, 1, "cold open produces the file");
+    assert_eq!(stats.files_saved, 1);
+    assert_eq!(stats.raw_bytes, 0, "streaming production must not materialize");
+
+    // Warm instance over the same dir: open in place, replay in batches.
+    let warm_store = TraceStore::with_cache_dir(&dir);
+    let warm = run_one(&warm_store, true).expect("warm streaming run");
+    let stats = warm_store.stats();
+    assert_eq!(stats.records, 0, "warm open must not re-produce");
+    assert_eq!(stats.stream_opens, 1, "served as a streaming open");
+    assert_eq!(stats.disk_hits, 1, "counted as a disk hit");
+    assert_eq!(stats.raw_bytes, 0, "warm open must not re-materialize");
+    assert!((stats.hit_rate() - 1.0).abs() < 1e-12, "100% store hits");
+
+    // Identical results to the materialized engine over the same store.
+    let mat_store = TraceStore::with_cache_dir(&dir);
+    let materialized = run_one(&mat_store, false).expect("materialized run");
+    assert_same_results(
+        std::slice::from_ref(&cold),
+        std::slice::from_ref(&warm),
+    );
+    assert_same_results(
+        std::slice::from_ref(&warm),
+        std::slice::from_ref(&materialized),
+    );
+    assert!(
+        mat_store.stats().raw_bytes > 0,
+        "control: the materialized path does decode the vector"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

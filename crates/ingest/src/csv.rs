@@ -27,7 +27,9 @@
 
 use std::io::BufRead;
 
-use crate::{drive, IngestError, Ingested, Op, ParseErrorKind, TraceBuilder};
+use waymem_isa::TraceSink;
+
+use crate::{assemble, drive, IngestError, IngestStats, Ingested, Op, ParseErrorKind, SplitSink};
 
 fn parse_op(token: &str) -> Result<Op, ParseErrorKind> {
     // Case-insensitive, accepting both single letters and words.
@@ -74,7 +76,21 @@ fn parse_addr(token: &str) -> Result<u64, ParseErrorKind> {
 /// [`IngestError::Io`] from the reader, or [`IngestError::Parse`] with
 /// the 1-based line number on the first malformed line.
 pub fn parse<R: BufRead>(reader: R) -> Result<Ingested, IngestError> {
-    drive(reader, |line, builder: &mut TraceBuilder| {
+    let (stats, sink) = parse_into(reader, SplitSink::default())?;
+    Ok(assemble(stats, sink))
+}
+
+/// Parses the CSV trace format from `reader`, streaming each access
+/// straight into `sink` without materializing a `Vec<TraceEvent>`.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_into<R: BufRead, S: TraceSink>(
+    reader: R,
+    sink: S,
+) -> Result<(IngestStats, S), IngestError> {
+    drive(reader, sink, |line, builder| {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             return Ok(false);

@@ -26,7 +26,9 @@
 
 use std::io::BufRead;
 
-use crate::{drive, IngestError, Ingested, Op, ParseErrorKind, TraceBuilder};
+use waymem_isa::TraceSink;
+
+use crate::{assemble, drive, IngestError, IngestStats, Ingested, Op, ParseErrorKind, SplitSink};
 
 /// Parses one access line already known not to be a banner/blank.
 /// Returns the op, address and size.
@@ -69,7 +71,23 @@ fn parse_access(line: &str) -> Result<(Op, u64, u64), ParseErrorKind> {
 /// [`IngestError::Io`] from the reader, or [`IngestError::Parse`] with
 /// the 1-based line number on the first malformed access line.
 pub fn parse<R: BufRead>(reader: R) -> Result<Ingested, IngestError> {
-    drive(reader, |line, builder: &mut TraceBuilder| {
+    let (stats, sink) = parse_into(reader, SplitSink::default())?;
+    Ok(assemble(stats, sink))
+}
+
+/// Parses a Lackey log from `reader`, streaming each access straight into
+/// `sink` — the bounded-memory path: with a
+/// [`StreamingEncoder`](waymem_trace::StreamingEncoder) sink nothing is
+/// ever materialized.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_into<R: BufRead, S: TraceSink>(
+    reader: R,
+    sink: S,
+) -> Result<(IngestStats, S), IngestError> {
+    drive(reader, sink, |line, builder| {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with("==") || trimmed.starts_with("--") {
             return Ok(false); // valgrind banner / blank: skipped

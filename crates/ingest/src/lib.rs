@@ -51,8 +51,8 @@ use std::fmt;
 use std::io::{self, BufRead};
 use std::path::Path;
 
-use waymem_isa::{FetchKind, RecordedTrace, TraceEvent};
-use waymem_trace::{fnv1a64_update, WorkloadId, FNV1A64_SEED};
+use waymem_isa::{FetchKind, RecordedTrace, TraceEvent, TraceSink};
+use waymem_trace::{fnv1a64_update, StreamError, StreamingEncoder, WorkloadId, FNV1A64_SEED};
 
 /// The input grammars this crate understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +160,53 @@ impl From<ParseError> for IngestError {
     }
 }
 
+impl From<StreamError> for IngestError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::Io(io) => IngestError::Io(io),
+            StreamError::Codec(c) => {
+                IngestError::Io(io::Error::new(io::ErrorKind::InvalidData, c))
+            }
+        }
+    }
+}
+
+/// The provenance and shape of a parsed stream — everything [`Ingested`]
+/// knows except the events themselves. This is what the sink-generic
+/// entry points ([`parse_into`], [`parse_to_wmtr`]) return: the events
+/// went wherever the caller's [`TraceSink`] sent them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// FNV-1a64 of the log's raw bytes — the workload's identity *and*
+    /// its staleness fingerprint (an edited log is a different hash).
+    pub source_hash: u64,
+    /// Total lines read, including skipped ones.
+    pub lines: u64,
+    /// Lines skipped as blanks, comments or valgrind banners.
+    pub skipped: u64,
+    /// Instruction fetches emitted.
+    pub fetch_events: u64,
+    /// Loads and stores emitted.
+    pub data_events: u64,
+    /// Cycle count for the trace: the fetch count, or the data count for
+    /// data-only captures (CPI-1 stand-in for the power models).
+    pub cycles: u64,
+}
+
+impl IngestStats {
+    /// Total events emitted across both streams.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.fetch_events + self.data_events
+    }
+
+    /// The store key this log caches under.
+    #[must_use]
+    pub fn workload_id(&self) -> WorkloadId {
+        WorkloadId::External { hash: self.source_hash }
+    }
+}
+
 /// A successfully ingested log: the trace plus its provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ingested {
@@ -195,9 +242,36 @@ pub(crate) enum Op {
     Modify,
 }
 
-/// The shared trace assembler behind both parsers: accumulates split
-/// fetch/data streams, reconstructs fetch-kind provenance from the PC
-/// sequence, and hashes the raw input bytes as they stream through.
+/// The crate's collecting sink: splits the stream into the fetch/data
+/// vectors a [`RecordedTrace`] holds. This is what the materializing
+/// entry points ([`parse`], [`synth::generate`]) plug into the
+/// sink-generic core.
+#[derive(Debug, Default)]
+pub(crate) struct SplitSink {
+    pub(crate) fetch_events: Vec<TraceEvent>,
+    pub(crate) data_events: Vec<TraceEvent>,
+}
+
+impl TraceSink for SplitSink {
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        self.fetch_events.push(TraceEvent::Fetch { pc, kind });
+    }
+
+    fn load(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        self.data_events.push(TraceEvent::Load { base, disp, addr, size });
+    }
+
+    fn store(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        self.data_events.push(TraceEvent::Store { base, disp, addr, size });
+    }
+}
+
+/// The shared trace assembler behind both parsers (and the synthetic
+/// generators): reconstructs fetch-kind provenance from the PC sequence,
+/// hashes the raw input bytes as they stream through, and emits every
+/// event straight into the caller's [`TraceSink`] — a collecting
+/// [`SplitSink`] to materialize, a
+/// [`StreamingEncoder`] to go straight to disk in bounded memory.
 ///
 /// External logs carry no architectural base/displacement or control-flow
 /// information, so the builder reconstructs the closest sound analogue:
@@ -210,24 +284,26 @@ pub(crate) enum Op {
 /// raw-address convention ([`TraceEvent::load_at`]). Addresses are
 /// truncated to the simulated machine's 32 bits.
 #[derive(Debug)]
-pub(crate) struct TraceBuilder {
-    fetch_events: Vec<TraceEvent>,
-    data_events: Vec<TraceEvent>,
+pub(crate) struct TraceBuilder<S: TraceSink> {
+    sink: S,
     last_fetch: Option<(u32, u32)>,
     hash: u64,
     lines: u64,
     skipped: u64,
+    fetch_count: u64,
+    data_count: u64,
 }
 
-impl TraceBuilder {
-    pub(crate) fn new() -> Self {
+impl<S: TraceSink> TraceBuilder<S> {
+    pub(crate) fn new(sink: S) -> Self {
         TraceBuilder {
-            fetch_events: Vec::new(),
-            data_events: Vec::new(),
+            sink,
             last_fetch: None,
             hash: FNV1A64_SEED,
             lines: 0,
             skipped: 0,
+            fetch_count: 0,
+            data_count: 0,
         }
     }
 
@@ -260,37 +336,56 @@ impl TraceBuilder {
                     },
                     None => FetchKind::Sequential,
                 };
-                self.fetch_events.push(TraceEvent::Fetch { pc: addr32, kind });
+                self.sink.fetch(addr32, kind);
+                self.fetch_count += 1;
                 self.last_fetch = Some((addr32, size8.max(1).into()));
             }
-            Op::Load => self.data_events.push(TraceEvent::load_at(addr32, size8)),
-            Op::Store => self.data_events.push(TraceEvent::store_at(addr32, size8)),
+            Op::Load => {
+                self.sink.load(addr32, 0, addr32, size8);
+                self.data_count += 1;
+            }
+            Op::Store => {
+                self.sink.store(addr32, 0, addr32, size8);
+                self.data_count += 1;
+            }
             Op::Modify => {
-                self.data_events.push(TraceEvent::load_at(addr32, size8));
-                self.data_events.push(TraceEvent::store_at(addr32, size8));
+                self.sink.load(addr32, 0, addr32, size8);
+                self.sink.store(addr32, 0, addr32, size8);
+                self.data_count += 2;
             }
         }
     }
 
-    pub(crate) fn finish(self) -> Ingested {
+    pub(crate) fn finish(self) -> (IngestStats, S) {
         // Logs without fetch records (data-only captures) still need a
         // nonzero cycle count for the power models' per-cycle terms; the
         // data-access count is the CPI-1 stand-in.
-        let cycles = if self.fetch_events.is_empty() {
-            self.data_events.len() as u64
-        } else {
-            self.fetch_events.len() as u64
-        };
-        Ingested {
-            trace: RecordedTrace {
-                fetch_events: self.fetch_events,
-                data_events: self.data_events,
+        let cycles = if self.fetch_count == 0 { self.data_count } else { self.fetch_count };
+        (
+            IngestStats {
+                source_hash: self.hash,
+                lines: self.lines,
+                skipped: self.skipped,
+                fetch_events: self.fetch_count,
+                data_events: self.data_count,
                 cycles,
             },
-            source_hash: self.hash,
-            lines: self.lines,
-            skipped: self.skipped,
-        }
+            self.sink,
+        )
+    }
+}
+
+/// Assembles the materialized [`Ingested`] from a collecting run.
+pub(crate) fn assemble(stats: IngestStats, sink: SplitSink) -> Ingested {
+    Ingested {
+        trace: RecordedTrace {
+            fetch_events: sink.fetch_events,
+            data_events: sink.data_events,
+            cycles: stats.cycles,
+        },
+        source_hash: stats.source_hash,
+        lines: stats.lines,
+        skipped: stats.skipped,
     }
 }
 
@@ -306,6 +401,44 @@ pub fn parse<R: BufRead>(format: LogFormat, reader: R) -> Result<Ingested, Inges
         LogFormat::Lackey => lackey::parse(reader),
         LogFormat::Csv => csv::parse(reader),
     }
+}
+
+/// Parses a whole log in `format` from `reader`, emitting every event
+/// into `sink` instead of materializing a trace — resident memory is
+/// bounded by the line buffer and whatever the sink holds. Returns the
+/// stream's provenance/shape plus the sink.
+///
+/// # Errors
+///
+/// As [`parse`].
+pub fn parse_into<R: BufRead, S: TraceSink>(
+    format: LogFormat,
+    reader: R,
+    sink: S,
+) -> Result<(IngestStats, S), IngestError> {
+    match format {
+        LogFormat::Lackey => lackey::parse_into(reader, sink),
+        LogFormat::Csv => csv::parse_into(reader, sink),
+    }
+}
+
+/// Parses a whole log in `format` from `reader` straight into an encoded
+/// `.wmtr` file at `out_path` — the fully streaming ingest path: no
+/// event vector exists at any point, so a multi-GB capture costs O(64
+/// KiB) resident memory.
+///
+/// # Errors
+///
+/// As [`parse`], plus I/O failures writing the encoded file.
+pub fn parse_to_wmtr<R: BufRead>(
+    format: LogFormat,
+    reader: R,
+    out_path: &Path,
+) -> Result<IngestStats, IngestError> {
+    let encoder = StreamingEncoder::create(out_path)?;
+    let (stats, encoder) = parse_into(format, reader, encoder)?;
+    encoder.finish(stats.cycles, stats.source_hash)?;
+    Ok(stats)
 }
 
 /// Opens `path`, picks the format from its extension
@@ -345,13 +478,15 @@ pub fn hash_file(path: impl AsRef<Path>) -> io::Result<u64> {
 
 /// The shared line-pump both format modules drive: reads `reader` line
 /// by line, hashes every raw byte, and hands each line to `parse_line`,
-/// which either consumes it (pushing events into the builder), skips it,
-/// or rejects it with a [`ParseErrorKind`].
-pub(crate) fn drive<R: BufRead>(
+/// which either consumes it (pushing events into the builder, which
+/// forwards them to `sink`), skips it, or rejects it with a
+/// [`ParseErrorKind`].
+pub(crate) fn drive<R: BufRead, S: TraceSink>(
     mut reader: R,
-    mut parse_line: impl FnMut(&str, &mut TraceBuilder) -> Result<bool, ParseErrorKind>,
-) -> Result<Ingested, IngestError> {
-    let mut builder = TraceBuilder::new();
+    sink: S,
+    mut parse_line: impl FnMut(&str, &mut TraceBuilder<S>) -> Result<bool, ParseErrorKind>,
+) -> Result<(IngestStats, S), IngestError> {
+    let mut builder = TraceBuilder::new(sink);
     let mut raw = String::new();
     loop {
         raw.clear();
@@ -373,6 +508,15 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn builder() -> TraceBuilder<SplitSink> {
+        TraceBuilder::new(SplitSink::default())
+    }
+
+    fn finish(b: TraceBuilder<SplitSink>) -> Ingested {
+        let (stats, sink) = b.finish();
+        assemble(stats, sink)
+    }
+
     #[test]
     fn format_detection_by_extension() {
         assert_eq!(LogFormat::for_path(Path::new("a/trace.csv")), LogFormat::Csv);
@@ -383,13 +527,13 @@ mod tests {
 
     #[test]
     fn fetch_kind_reconstruction() {
-        let mut b = TraceBuilder::new();
+        let mut b = builder();
         b.push(Op::Instr, 0x1000, 4); // first: sequential by convention
         b.push(Op::Instr, 0x1004, 4); // continues: sequential
         b.push(Op::Instr, 0x2000, 4); // jump: branch from 0x1004
         b.push(Op::Instr, 0x2004, 2);
         b.push(Op::Instr, 0x2006, 2); // 2-byte instr continues: sequential
-        let t = b.finish().trace;
+        let t = finish(b).trace;
         assert!(matches!(t.fetch_events[0], TraceEvent::Fetch { kind: FetchKind::Sequential, .. }));
         assert!(matches!(t.fetch_events[1], TraceEvent::Fetch { kind: FetchKind::Sequential, .. }));
         assert!(matches!(
@@ -405,19 +549,19 @@ mod tests {
 
     #[test]
     fn data_only_logs_get_access_count_cycles() {
-        let mut b = TraceBuilder::new();
+        let mut b = builder();
         b.push(Op::Load, 0x10, 4);
         b.push(Op::Modify, 0x20, 4);
-        let ing = b.finish();
+        let ing = finish(b);
         assert_eq!(ing.trace.data_events.len(), 3);
         assert_eq!(ing.trace.cycles, 3);
     }
 
     #[test]
     fn addresses_truncate_to_32_bits() {
-        let mut b = TraceBuilder::new();
+        let mut b = builder();
         b.push(Op::Load, 0x1234_5678_9abc_def0, 999);
-        let t = b.finish().trace;
+        let t = finish(b).trace;
         assert_eq!(
             t.data_events[0],
             TraceEvent::Load { base: 0x9abc_def0, disp: 0, addr: 0x9abc_def0, size: u8::MAX }
@@ -436,5 +580,24 @@ mod tests {
     fn workload_id_uses_the_content_hash() {
         let ing = parse(LogFormat::Lackey, Cursor::new("I  1000,4\n")).unwrap();
         assert_eq!(ing.workload_id(), WorkloadId::External { hash: ing.source_hash });
+    }
+
+    #[test]
+    fn parse_to_wmtr_matches_the_materializing_parse() {
+        let log = "I  1000,4\n L 2000,8\nI  1004,4\n S 3000,4\n M 2000,4\n";
+        let ing = parse(LogFormat::Lackey, Cursor::new(log)).unwrap();
+        let dir = std::env::temp_dir()
+            .join(format!("waymem-ingest-wmtr-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wmtr");
+        let stats = parse_to_wmtr(LogFormat::Lackey, Cursor::new(log), &path).unwrap();
+        assert_eq!(stats.source_hash, ing.source_hash);
+        assert_eq!(stats.workload_id(), ing.workload_id());
+        assert_eq!((stats.lines, stats.skipped), (ing.lines, ing.skipped));
+        assert_eq!(stats.events(), ing.trace.len() as u64);
+        let st = waymem_trace::StreamingTrace::open(&path).unwrap();
+        assert_eq!(st.source_hash(), ing.source_hash);
+        assert_eq!(st.decode().unwrap(), ing.trace);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

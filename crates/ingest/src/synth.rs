@@ -39,10 +39,10 @@
 //! per access, the shape that dominates real kernels — so I-side schemes
 //! see a realistic packet stream too.
 
-use waymem_isa::RecordedTrace;
+use waymem_isa::{RecordedTrace, TraceSink};
 use waymem_trace::{fnv1a64, SynthPattern, SynthSpec, WorkloadId};
 
-use crate::{Op, TraceBuilder};
+use crate::{assemble, IngestStats, Op, SplitSink, TraceBuilder};
 
 /// Bumped whenever any generator's output changes for the same spec, so
 /// cached traces from older generators read as stale, not current.
@@ -262,8 +262,18 @@ fn chase_cycle(nodes: u32, rng: &mut XorShift32) -> Vec<u32> {
 /// (events are materialized, like any recorded trace).
 #[must_use]
 pub fn generate(spec: SynthSpec) -> RecordedTrace {
+    let (stats, sink) = generate_into(spec, SplitSink::default());
+    assemble(stats, sink).trace
+}
+
+/// Fabricates the trace a spec describes, streaming every event straight
+/// into `sink` — the bounded-memory path: with a
+/// [`StreamingEncoder`](waymem_trace::StreamingEncoder) sink an
+/// arbitrarily long synthetic trace costs O(1) resident memory. Same
+/// deterministic event stream as [`generate`].
+pub fn generate_into<S: TraceSink>(spec: SynthSpec, sink: S) -> (IngestStats, S) {
     let mut rng = XorShift32::new(spec.seed ^ 0x9e37_79b9);
-    let mut builder = TraceBuilder::new();
+    let mut builder = TraceBuilder::new(sink);
     let mut chase = match spec.pattern {
         SynthPattern::PointerChase { nodes } => {
             let cycle = chase_cycle(nodes, &mut rng);
@@ -337,7 +347,7 @@ pub fn generate(spec: SynthSpec) -> RecordedTrace {
         };
         builder.push(op, u64::from(addr), 4);
     }
-    builder.finish().trace
+    builder.finish()
 }
 
 #[cfg(test)]

@@ -188,6 +188,27 @@ pub trait TraceSink {
     }
 }
 
+/// Forwarding impl so producers generic over `S: TraceSink` can be
+/// handed a mutable borrow (e.g. a parser feeding a caller-owned
+/// streaming encoder) without an adapter type.
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        (**self).fetch(pc, kind);
+    }
+
+    fn load(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        (**self).load(base, disp, addr, size);
+    }
+
+    fn store(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        (**self).store(base, disp, addr, size);
+    }
+
+    fn events(&mut self, batch: &[TraceEvent]) {
+        (**self).events(batch);
+    }
+}
+
 /// A sink that discards every event (pure functional runs).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;

@@ -42,14 +42,17 @@ use std::sync::Arc;
 
 use waymem_cache::Geometry;
 use waymem_hwmodel::Technology;
-use waymem_ingest::{hash_file, parse, synth, LogFormat};
+use waymem_ingest::{hash_file, parse, parse_to_wmtr, synth, LogFormat};
 use waymem_isa::RecordedTrace;
-use waymem_trace::{StoreStats, SynthSpec, TraceStore, WorkloadId};
+use waymem_trace::{
+    stream, StoreStats, StreamError, StreamingEncoder, StreamingTrace, SynthSpec, TraceStore,
+    WorkloadId,
+};
 use waymem_workloads::Benchmark;
 
 use crate::run::{
-    kernel_source_hash, record_trace, replay_with_policy, run_kernel_fanout, RunError, SimConfig,
-    SimResult,
+    kernel_source_hash, record_trace, record_trace_streaming, replay_source_with_policy,
+    run_kernel_fanout, RunError, SimConfig, SimResult, TraceSource,
 };
 use crate::{DScheme, IScheme};
 
@@ -176,6 +179,7 @@ pub struct Experiment<'s> {
     ischemes: Vec<IScheme>,
     store: StoreSel<'s>,
     policy: ExecPolicy,
+    streaming: bool,
 }
 
 impl Experiment<'_> {
@@ -189,6 +193,7 @@ impl Experiment<'_> {
             ischemes: Vec::new(),
             store: StoreSel::None,
             policy: ExecPolicy::Auto,
+            streaming: false,
         }
     }
 
@@ -299,19 +304,36 @@ impl<'s> Experiment<'s> {
         self
     }
 
+    /// Resolves the workload to an on-disk `.wmtr` file and replays it
+    /// through a bounded window instead of materializing the event
+    /// vector: resident memory is O(batch) regardless of trace length,
+    /// so multi-GB captures fit. Results are bit-identical to the
+    /// materialized path (pinned by `tests/determinism.rs`); the
+    /// production step (interpreting / parsing / generating) streams
+    /// straight into the file too. With a store attached, warm `.wmtr`
+    /// cache files are opened in place without re-decoding; without one,
+    /// the file lives in a scratch temp path removed when the run ends.
+    pub fn streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
     /// Runs the experiment: resolve → record-or-load → replay.
     ///
     /// # Errors
     ///
     /// [`RunError`] when the workload cannot be produced — a kernel that
     /// fails to assemble or halt, an unreadable or malformed log, or an
-    /// external [`WorkloadId`] no store holds. Replay itself is
-    /// infallible.
+    /// external [`WorkloadId`] no store holds — or when a
+    /// [`streaming`](Experiment::streaming) run's trace file fails to
+    /// read back. Materialized replay itself is infallible.
     pub fn run(self) -> Result<SimResult, RunError> {
         // A serial kernel run without a store can skip materializing the
         // trace entirely, feeding the front-ends per event straight from
         // the interpreter (bit-identical; pinned by tests/experiment.rs).
-        if let (WorkloadSpec::Kernel(bench), StoreSel::None) = (&self.workload, &self.store) {
+        if let (WorkloadSpec::Kernel(bench), StoreSel::None, false) =
+            (&self.workload, &self.store, self.streaming)
+        {
             let serial = match self.policy {
                 ExecPolicy::Serial => true,
                 ExecPolicy::Auto => {
@@ -323,7 +345,7 @@ impl<'s> Experiment<'s> {
                 return run_kernel_fanout(*bench, &self.cfg, &self.dschemes, &self.ischemes);
             }
         }
-        Ok(self.prepare()?.run())
+        self.prepare()?.run()
     }
 
     /// Resolves the workload — hashing, store lookup, and production —
@@ -335,9 +357,23 @@ impl<'s> Experiment<'s> {
     ///
     /// As [`run`](Experiment::run).
     pub fn prepare(self) -> Result<Prepared, RunError> {
-        let Experiment { workload, cfg, dschemes, ischemes, store, policy } = self;
+        let Experiment { workload, cfg, dschemes, ischemes, store, policy, streaming } = self;
         let store = store.get();
         let mut ingest_meta = None;
+        if streaming {
+            let (id, source_hash, source) =
+                resolve_streaming(workload, &cfg, store, &mut ingest_meta)?;
+            return Ok(Prepared {
+                id,
+                source_hash,
+                source,
+                cfg,
+                dschemes,
+                ischemes,
+                policy,
+                ingest_meta,
+            });
+        }
         let (id, source_hash, trace) = match workload {
             WorkloadSpec::Kernel(bench) => {
                 resolve_kernel(bench, cfg.scale, &cfg, store)?
@@ -414,8 +450,175 @@ impl<'s> Experiment<'s> {
                 }
             },
         };
-        Ok(Prepared { id, source_hash, trace, cfg, dschemes, ischemes, policy, ingest_meta })
+        Ok(Prepared {
+            id,
+            source_hash,
+            source: TraceSource::Materialized(trace),
+            cfg,
+            dschemes,
+            ischemes,
+            policy,
+            ingest_meta,
+        })
     }
+}
+
+/// Resolves a workload to an on-disk `.wmtr` streaming handle — the
+/// [`Experiment::streaming`] counterpart of the materializing match in
+/// [`Experiment::prepare`]. Store-backed resolutions go through
+/// [`TraceStore::open_stream`] (warm cache files open in place, cold
+/// ones are produced straight to disk); store-less ones produce to a
+/// scratch temp file removed when the handle drops.
+fn resolve_streaming(
+    workload: WorkloadSpec,
+    cfg: &SimConfig,
+    store: Option<&TraceStore>,
+    ingest_meta: &mut Option<IngestMeta>,
+) -> Result<(WorkloadId, u64, TraceSource), RunError> {
+    match workload {
+        WorkloadSpec::Kernel(bench) => resolve_kernel_streaming(bench, cfg.scale, cfg, store),
+        WorkloadSpec::Id(WorkloadId::Kernel { benchmark, scale }) => {
+            resolve_kernel_streaming(benchmark, scale, cfg, store)
+        }
+        WorkloadSpec::Id(WorkloadId::Synthetic(spec)) | WorkloadSpec::Synthetic(spec) => {
+            let id = WorkloadId::Synthetic(spec);
+            let hash = synth::source_hash(spec);
+            let st = open_stream_via(store, id, hash, |path| {
+                let enc = StreamingEncoder::create(path).map_err(StreamError::from)?;
+                let (stats, enc) = synth::generate_into(spec, enc);
+                enc.finish(stats.cycles, hash)?;
+                Ok(())
+            })?;
+            Ok((id, hash, TraceSource::Streaming(Arc::new(st))))
+        }
+        WorkloadSpec::Id(id @ WorkloadId::External { hash }) => match store {
+            Some(s) => {
+                let st =
+                    s.open_stream(id, hash, |_: &Path| Err(RunError::MissingTrace { id }))?;
+                Ok((id, hash, TraceSource::Streaming(Arc::new(st))))
+            }
+            None => Err(RunError::MissingTrace { id }),
+        },
+        WorkloadSpec::Recorded { id, trace } => {
+            // Taken as given, like the materialized path: the store is
+            // bypassed; the trace is spilled to scratch and replayed
+            // from disk (the caller asked for bounded replay memory,
+            // though the in-memory copy they handed over still exists).
+            let st = open_scratch_stream(id, |path| {
+                stream::write_encoded(&trace, 0, path).map_err(StreamError::from)?;
+                Ok(())
+            })?;
+            Ok((id, 0, TraceSource::Streaming(Arc::new(st))))
+        }
+        WorkloadSpec::Log { path, format } => {
+            // Hash the raw bytes up front in every case: the hash is the
+            // workload's identity, and a warm store hit then skips the
+            // parse entirely.
+            let hash = hash_file(&path).map_err(|e| RunError::Ingest {
+                path: path.clone(),
+                message: format!("cannot read: {e}"),
+            })?;
+            let id = WorkloadId::External { hash };
+            let st = open_stream_via(store, id, hash, |out| {
+                produce_log_streaming(&path, format, hash, out, ingest_meta)
+            })?;
+            Ok((id, hash, TraceSource::Streaming(Arc::new(st))))
+        }
+    }
+}
+
+/// Streaming kernel resolution: the CPU interpreter's event stream goes
+/// straight to the `.wmtr` file via [`record_trace_streaming`].
+fn resolve_kernel_streaming(
+    bench: Benchmark,
+    scale: u32,
+    cfg: &SimConfig,
+    store: Option<&TraceStore>,
+) -> Result<(WorkloadId, u64, TraceSource), RunError> {
+    let id = WorkloadId::kernel(bench, scale);
+    let hash = kernel_source_hash(bench, scale);
+    let record_cfg = SimConfig { scale, ..*cfg };
+    let st = open_stream_via(store, id, hash, |path| {
+        record_trace_streaming(bench, &record_cfg, path).map(|_| ())
+    })?;
+    Ok((id, hash, TraceSource::Streaming(Arc::new(st))))
+}
+
+/// Opens a streaming handle through the store when one is attached, or
+/// through a self-cleaning scratch file otherwise.
+fn open_stream_via(
+    store: Option<&TraceStore>,
+    id: WorkloadId,
+    hash: u64,
+    produce: impl FnOnce(&Path) -> Result<(), RunError>,
+) -> Result<StreamingTrace, RunError> {
+    match store {
+        Some(s) => s.open_stream(id, hash, produce),
+        None => open_scratch_stream(id, produce),
+    }
+}
+
+/// Produces a `.wmtr` file into a per-process scratch path and opens it
+/// marked for deletion when the handle drops — the store-less streaming
+/// path, where nothing outlives the experiment.
+fn open_scratch_stream(
+    id: WorkloadId,
+    produce: impl FnOnce(&Path) -> Result<(), RunError>,
+) -> Result<StreamingTrace, RunError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "waymem-exp-{}-{}-{}",
+        std::process::id(),
+        n,
+        id.file_name()
+    ));
+    produce(&path)?;
+    match StreamingTrace::open(&path) {
+        Ok(st) => Ok(st.delete_on_drop()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&path);
+            Err(e.into())
+        }
+    }
+}
+
+/// Parses a log straight into a `.wmtr` file at `out`, mapping every
+/// failure to a structured [`RunError::Ingest`] and capturing the
+/// ingestion metadata — the streaming counterpart of [`parse_log`].
+fn produce_log_streaming(
+    path: &Path,
+    format: Option<LogFormat>,
+    expected_hash: u64,
+    out: &Path,
+    ingest_meta: &mut Option<IngestMeta>,
+) -> Result<(), RunError> {
+    let format = format.unwrap_or_else(|| LogFormat::for_path(path));
+    let ingest_err = |message: String| RunError::Ingest { path: path.to_path_buf(), message };
+    let file = std::fs::File::open(path).map_err(|e| ingest_err(format!("cannot open: {e}")))?;
+    let stats = parse_to_wmtr(format, std::io::BufReader::new(file), out)
+        .map_err(|e| ingest_err(e.to_string()))?;
+    if stats.events() == 0 {
+        return Err(ingest_err("log contains no accesses".to_owned()));
+    }
+    // The parser folds the identical byte stream into FNV-1a64;
+    // divergence means the file changed between the hash and the parse
+    // (or a parser regression) — either way the cache key would lie
+    // about the trace it maps to.
+    if stats.source_hash != expected_hash {
+        return Err(ingest_err(format!(
+            "file changed while being ingested \
+             (hashed {expected_hash:016x}, parsed {:016x})",
+            stats.source_hash
+        )));
+    }
+    *ingest_meta = Some(IngestMeta {
+        format,
+        lines: stats.lines,
+        skipped: stats.skipped,
+    });
+    Ok(())
 }
 
 /// Resolves a kernel workload at an explicit scale: record through the
@@ -479,7 +682,7 @@ pub struct IngestMeta {
 pub struct Prepared {
     id: WorkloadId,
     source_hash: u64,
-    trace: Arc<RecordedTrace>,
+    source: TraceSource,
     cfg: SimConfig,
     dschemes: Vec<DScheme>,
     ischemes: Vec<IScheme>,
@@ -501,10 +704,20 @@ impl Prepared {
         self.source_hash
     }
 
-    /// The resolved trace about to be replayed.
+    /// The resolved in-memory trace about to be replayed, when the
+    /// experiment materialized one (`None` for
+    /// [`streaming`](Experiment::streaming) resolutions, which never
+    /// hold the event vector).
     #[must_use]
-    pub fn trace(&self) -> &Arc<RecordedTrace> {
-        &self.trace
+    pub fn trace(&self) -> Option<&Arc<RecordedTrace>> {
+        self.source.materialized()
+    }
+
+    /// The resolved trace source — materialized or streaming — about to
+    /// be replayed.
+    #[must_use]
+    pub fn source(&self) -> &TraceSource {
+        &self.source
     }
 
     /// Ingestion metadata, when this resolution actually parsed a log
@@ -515,13 +728,16 @@ impl Prepared {
     }
 
     /// Replays the resolved trace across every requested scheme under
-    /// the experiment's policy. Infallible: everything that can fail
-    /// already happened in [`Experiment::prepare`].
-    #[must_use]
-    pub fn run(self) -> SimResult {
-        replay_with_policy(
+    /// the experiment's policy.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Stream`] when a streaming source's file fails to read
+    /// or decode mid-replay; materialized replay is infallible.
+    pub fn run(self) -> Result<SimResult, RunError> {
+        replay_source_with_policy(
             self.id,
-            &self.trace,
+            &self.source,
             &self.cfg,
             &self.dschemes,
             &self.ischemes,
@@ -554,6 +770,7 @@ pub struct Suite<'s> {
     ischemes: Vec<IScheme>,
     store: StoreSel<'s>,
     policy: ExecPolicy,
+    streaming: bool,
 }
 
 impl Default for Suite<'_> {
@@ -573,6 +790,7 @@ impl Suite<'_> {
             ischemes: Vec::new(),
             store: StoreSel::None,
             policy: ExecPolicy::Auto,
+            streaming: false,
         }
     }
 
@@ -661,6 +879,15 @@ impl<'s> Suite<'s> {
         self
     }
 
+    /// Resolves and replays every workload through on-disk `.wmtr`
+    /// files instead of in-memory event vectors (see
+    /// [`Experiment::streaming`]): per-workload resident memory stays
+    /// O(batch) regardless of trace length.
+    pub fn streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
     /// Runs every workload and collects the results in workload order.
     ///
     /// Fan-out is bounded at both levels: at most
@@ -673,7 +900,7 @@ impl<'s> Suite<'s> {
     ///
     /// The first [`RunError`] in workload order.
     pub fn run(self) -> Result<SuiteResult, RunError> {
-        let Suite { workloads, cfg, dschemes, ischemes, store, policy } = self;
+        let Suite { workloads, cfg, dschemes, ischemes, store, policy, streaming } = self;
         let store_ref = store.get();
         let run_one = |w: &WorkloadSpec| {
             let exp = Experiment {
@@ -686,6 +913,7 @@ impl<'s> Suite<'s> {
                     None => StoreSel::None,
                 },
                 policy,
+                streaming,
             };
             exp.run()
         };

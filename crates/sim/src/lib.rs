@@ -89,8 +89,8 @@ pub use frontends::{DFront, DScheme, IFront, IScheme};
 pub use presets::{fig4_dschemes, fig6_ischemes, full_dschemes, full_ischemes};
 pub use report::{format_power_table, format_ratio_table, FigureRow};
 pub use run::{
-    kernel_source_hash, record_trace, RecordedTrace, RunError, SchemeResult, SimConfig,
-    SimResult,
+    kernel_source_hash, record_trace, record_trace_streaming, RecordedTrace, RunError,
+    SchemeResult, SimConfig, SimResult, TraceSource,
 };
 // The deprecated free-function shims stay importable under their old
 // names so downstream code keeps compiling (with a deprecation nudge
@@ -105,4 +105,6 @@ pub use run::{
 // callers need not name `waymem-trace` themselves; ditto the log-format
 // selector from `waymem-ingest`.
 pub use waymem_ingest::LogFormat;
-pub use waymem_trace::{StoreStats, SynthPattern, SynthSpec, TraceStore, WorkloadId};
+pub use waymem_trace::{
+    StoreStats, StreamError, StreamingTrace, SynthPattern, SynthSpec, TraceStore, WorkloadId,
+};

@@ -24,14 +24,18 @@
 
 use std::error::Error;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use waymem_cache::{AccessStats, Geometry};
 use waymem_hwmodel::{
     cache_energies, mab_power_mw, CacheShape, EnergyCounts, PowerBreakdown, Technology,
 };
 use waymem_isa::{AsmError, Cpu, CpuError, FetchKind, RecordingSink, TraceEvent, TraceSink};
-use waymem_trace::{fnv1a64, TraceStore, WorkloadId};
+use waymem_trace::{
+    fnv1a64, Section, StreamError, StreamStats, StreamingEncoder, StreamingTrace, TraceStore,
+    WorkloadId,
+};
 use waymem_workloads::Benchmark;
 
 use crate::{DFront, DScheme, ExecPolicy, IFront, IScheme, Suite, SuiteResult};
@@ -86,6 +90,13 @@ pub enum RunError {
         /// The unresolvable workload.
         id: WorkloadId,
     },
+    /// A streaming trace file could not be written, opened, or replayed
+    /// (the I/O or codec failure stringified, so the error stays
+    /// `Clone` + `Eq`).
+    Stream {
+        /// What went wrong with the stream.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -102,6 +113,9 @@ impl fmt::Display for RunError {
             RunError::MissingTrace { id } => {
                 write!(f, "workload {id} has no trace: not held by any attached store")
             }
+            RunError::Stream { message } => {
+                write!(f, "streaming trace failed: {message}")
+            }
         }
     }
 }
@@ -113,8 +127,15 @@ impl Error for RunError {
             RunError::Cpu(e) => Some(e),
             RunError::StepLimit { .. }
             | RunError::Ingest { .. }
-            | RunError::MissingTrace { .. } => None,
+            | RunError::MissingTrace { .. }
+            | RunError::Stream { .. } => None,
         }
+    }
+}
+
+impl From<StreamError> for RunError {
+    fn from(e: StreamError) -> Self {
+        RunError::Stream { message: e.to_string() }
     }
 }
 
@@ -204,6 +225,90 @@ impl TraceSink for FanoutSink {
 
 pub use waymem_isa::RecordedTrace;
 
+/// Where a replay's event stream comes from: a fully materialized
+/// in-memory trace, or an on-disk `.wmtr` file replayed in bounded
+/// batches. Every front-end sees the identical event sequence either
+/// way — `tests/determinism.rs` pins the two sources bit-identical for
+/// every scheme — only the resident-memory cost differs: O(events)
+/// materialized, O(batch) streaming.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// The whole event stream resident in memory, shared across replay
+    /// workers.
+    Materialized(Arc<RecordedTrace>),
+    /// Replayed from an on-disk `.wmtr` file through a bounded window;
+    /// each front-end replays its section from its own file cursor.
+    Streaming(Arc<StreamingTrace>),
+}
+
+impl TraceSource {
+    /// The trace's cycle count.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        match self {
+            TraceSource::Materialized(t) => t.cycles,
+            TraceSource::Streaming(t) => t.cycles(),
+        }
+    }
+
+    /// Total event count (fetch + data).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        match self {
+            TraceSource::Materialized(t) => t.len() as u64,
+            TraceSource::Streaming(t) => t.len(),
+        }
+    }
+
+    /// Whether the trace holds no events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The in-memory trace, when this source is materialized.
+    #[must_use]
+    pub fn materialized(&self) -> Option<&Arc<RecordedTrace>> {
+        match self {
+            TraceSource::Materialized(t) => Some(t),
+            TraceSource::Streaming(_) => None,
+        }
+    }
+
+    /// The on-disk streaming handle, when this source streams.
+    #[must_use]
+    pub fn streaming(&self) -> Option<&Arc<StreamingTrace>> {
+        match self {
+            TraceSource::Materialized(_) => None,
+            TraceSource::Streaming(t) => Some(t),
+        }
+    }
+}
+
+impl From<Arc<RecordedTrace>> for TraceSource {
+    fn from(trace: Arc<RecordedTrace>) -> Self {
+        TraceSource::Materialized(trace)
+    }
+}
+
+impl From<RecordedTrace> for TraceSource {
+    fn from(trace: RecordedTrace) -> Self {
+        TraceSource::Materialized(Arc::new(trace))
+    }
+}
+
+impl From<Arc<StreamingTrace>> for TraceSource {
+    fn from(trace: Arc<StreamingTrace>) -> Self {
+        TraceSource::Streaming(trace)
+    }
+}
+
+impl From<StreamingTrace> for TraceSource {
+    fn from(trace: StreamingTrace) -> Self {
+        TraceSource::Streaming(Arc::new(trace))
+    }
+}
+
 /// The recording sink behind [`record_trace`]: like
 /// [`waymem_isa::RecordingSink`] but splitting the stream at capture time
 /// so replay never re-partitions it.
@@ -272,6 +377,35 @@ pub fn record_trace(bench: Benchmark, cfg: &SimConfig) -> Result<RecordedTrace, 
         data_events: sink.data,
         cycles: cpu.instret(),
     })
+}
+
+/// Executes `bench` once, encoding its full event stream straight to a
+/// `.wmtr` file at `path` — the bounded-memory counterpart of
+/// [`record_trace`]: the event vector is never materialized, so a
+/// long-running kernel costs O(1) resident memory to capture. The file's
+/// header carries [`kernel_source_hash`] as its staleness fingerprint,
+/// so a store treats it exactly like a trace it recorded itself.
+///
+/// # Errors
+///
+/// [`RunError`] if the kernel fails to assemble, faults, does not halt
+/// within its step budget, or the file cannot be written.
+pub fn record_trace_streaming(
+    bench: Benchmark,
+    cfg: &SimConfig,
+    path: &Path,
+) -> Result<StreamStats, RunError> {
+    let wl = bench.workload(cfg.scale)?;
+    let mut sink = StreamingEncoder::create(path).map_err(StreamError::from)?;
+    let mut cpu = Cpu::new(&wl.program);
+    let outcome = cpu.run(wl.max_steps, &mut sink)?;
+    if !outcome.halted() {
+        return Err(RunError::StepLimit {
+            max_steps: wl.max_steps,
+        });
+    }
+    let cycles = cpu.instret();
+    Ok(sink.finish(cycles, kernel_source_hash(bench, cfg.scale))?)
 }
 
 /// The per-run Eq. (1) ingredients shared by every scheme: the cache's
@@ -473,6 +607,129 @@ pub(crate) fn replay_with_policy(
             .map(|f| ischeme_result(f, trace.cycles, cfg, energies))
             .collect(),
     }
+}
+
+/// Replays either trace source across every requested scheme's
+/// front-end: materialized sources go through [`replay_with_policy`]
+/// unchanged; streaming sources fan each front-end out over its own
+/// file cursor, consuming the section in bounded batches.
+///
+/// # Errors
+///
+/// [`RunError::Stream`] when a streaming source's file fails to read or
+/// decode mid-replay. Materialized replay is infallible.
+pub(crate) fn replay_source_with_policy(
+    workload: WorkloadId,
+    source: &TraceSource,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+    policy: ExecPolicy,
+) -> Result<SimResult, RunError> {
+    match source {
+        TraceSource::Materialized(trace) => {
+            Ok(replay_with_policy(workload, trace, cfg, dschemes, ischemes, policy))
+        }
+        TraceSource::Streaming(trace) => {
+            replay_streaming(workload, trace, cfg, dschemes, ischemes, policy)
+        }
+    }
+}
+
+/// The streaming replay engine: every front-end replays its section
+/// (fetches for I-fronts, loads/stores for D-fronts) straight from the
+/// `.wmtr` file through its own independent cursor —
+/// [`StreamingTrace::replay_section`] opens a fresh file handle per
+/// call, so the parallel fan-out needs no coordination and the numbers
+/// are bit-identical to the materialized engine (each front-end consumes
+/// the identical event sequence in isolation, in the same batched
+/// `events()` entry point).
+fn replay_streaming(
+    workload: WorkloadId,
+    trace: &StreamingTrace,
+    cfg: &SimConfig,
+    dschemes: &[DScheme],
+    ischemes: &[IScheme],
+    policy: ExecPolicy,
+) -> Result<SimResult, RunError> {
+    let parallel = match policy {
+        ExecPolicy::Auto => replay_in_parallel(dschemes.len() + ischemes.len()),
+        ExecPolicy::Parallel => true,
+        ExecPolicy::Serial => false,
+    };
+    let (dfronts, ifronts) = if parallel {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let chunk = (dschemes.len() + ischemes.len()).div_ceil(workers).max(1);
+        std::thread::scope(|scope| -> Result<_, StreamError> {
+            let dhandles: Vec<_> = dschemes
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .iter()
+                            .map(|&s| {
+                                let mut f = s.build(cfg.geometry);
+                                trace.replay_section(Section::Data, &mut f)?;
+                                Ok(f)
+                            })
+                            .collect::<Result<Vec<_>, StreamError>>()
+                    })
+                })
+                .collect();
+            let ihandles: Vec<_> = ischemes
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .iter()
+                            .map(|&s| {
+                                let mut f = s.build(cfg.geometry);
+                                trace.replay_section(Section::Fetch, &mut f)?;
+                                Ok(f)
+                            })
+                            .collect::<Result<Vec<_>, StreamError>>()
+                    })
+                })
+                .collect();
+            let mut dfronts: Vec<DFront> = Vec::with_capacity(dschemes.len());
+            for h in dhandles {
+                dfronts.extend(h.join().expect("D-front streaming replay worker panicked")?);
+            }
+            let mut ifronts: Vec<IFront> = Vec::with_capacity(ischemes.len());
+            for h in ihandles {
+                ifronts.extend(h.join().expect("I-front streaming replay worker panicked")?);
+            }
+            Ok((dfronts, ifronts))
+        })?
+    } else {
+        let mut dfronts = Vec::with_capacity(dschemes.len());
+        for &s in dschemes {
+            let mut f = s.build(cfg.geometry);
+            trace.replay_section(Section::Data, &mut f).map_err(RunError::from)?;
+            dfronts.push(f);
+        }
+        let mut ifronts = Vec::with_capacity(ischemes.len());
+        for &s in ischemes {
+            let mut f = s.build(cfg.geometry);
+            trace.replay_section(Section::Fetch, &mut f).map_err(RunError::from)?;
+            ifronts.push(f);
+        }
+        (dfronts, ifronts)
+    };
+    let cycles = trace.cycles();
+    let energies = run_energies(cfg);
+    Ok(SimResult {
+        workload,
+        cycles,
+        dcache: dfronts
+            .iter()
+            .map(|f| dscheme_result(f, cycles, cfg, energies))
+            .collect(),
+        icache: ifronts
+            .iter()
+            .map(|f| ischeme_result(f, cycles, cfg, energies))
+            .collect(),
+    })
 }
 
 /// Runs `bench` once and returns per-scheme statistics and Eq. (1) power

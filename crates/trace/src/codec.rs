@@ -76,12 +76,18 @@ pub const HEADER_LEN: usize = 56;
 pub const HEADER_LEN_V1: usize = 48;
 
 /// Trailing checksum length in bytes.
-const TRAILER_LEN: usize = 4;
+pub(crate) const TRAILER_LEN: usize = 4;
 
 /// Events per [`TraceSink::events`] batch during streaming replay: large
 /// enough to amortize the virtual call, small enough that the scratch
 /// buffer stays in cache (4096 × 24 B ≈ 96 kB).
-const REPLAY_CHUNK: usize = 4096;
+pub(crate) const REPLAY_CHUNK: usize = 4096;
+
+/// Upper bound on one event's wire size: a tag byte, up to three 5-byte
+/// varints, and a size byte. The file-backed reader
+/// ([`crate::stream::StreamingTrace`]) uses it to know when its buffered
+/// window is guaranteed to hold at least one whole event.
+pub(crate) const MAX_EVENT_WIRE: usize = 17;
 
 const TAG_SEQUENTIAL: u8 = 0;
 const TAG_TAKEN_BRANCH: u8 = 1;
@@ -157,16 +163,26 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// FNV-1a, 32-bit — tiny, dependency-free, and plenty to catch the
-/// corruption/truncation class of faults (this is an integrity check,
-/// not an authenticity one).
-fn fnv1a32(bytes: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811c_9dc5;
+/// FNV-1a 32-bit offset basis — the accumulator's starting value for
+/// [`fnv1a32_update`].
+pub(crate) const FNV1A32_SEED: u32 = 0x811c_9dc5;
+
+/// Folds `bytes` into a running FNV-1a32 accumulator, so callers that
+/// see the data in pieces (the file-backed streaming encoder/reader)
+/// compute the same checksum as a single [`fnv1a32`] pass.
+pub(crate) fn fnv1a32_update(mut hash: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         hash ^= u32::from(b);
         hash = hash.wrapping_mul(0x0100_0193);
     }
     hash
+}
+
+/// FNV-1a, 32-bit — tiny, dependency-free, and plenty to catch the
+/// corruption/truncation class of faults (this is an integrity check,
+/// not an authenticity one).
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    fnv1a32_update(FNV1A32_SEED, bytes)
 }
 
 /// Zigzag: maps small-magnitude signed values to small unsigned ones.
@@ -201,18 +217,28 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 /// A bounds-checked reader over one section's bytes.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Cursor { bytes, pos: 0 }
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos >= self.bytes.len()
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still unread.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
     }
 
     fn u8(&mut self) -> Result<u8, CodecError> {
@@ -245,7 +271,7 @@ impl<'a> Cursor<'a> {
 
 /// Appends one event to `out`, chaining the section predictor `prev`
 /// through [`TraceEvent::primary_addr`].
-fn encode_event(out: &mut Vec<u8>, e: TraceEvent, prev: &mut u32) {
+pub(crate) fn encode_event(out: &mut Vec<u8>, e: TraceEvent, prev: &mut u32) {
     match e {
         TraceEvent::Fetch { pc, kind } => match kind {
             FetchKind::Sequential => {
@@ -291,7 +317,7 @@ fn encode_mem(out: &mut Vec<u8>, tag: u8, base: u32, disp: i32, addr: u32, size:
     push_varint(out, addr_delta(addr, base.wrapping_add(disp as u32)));
 }
 
-fn decode_event(cur: &mut Cursor<'_>, prev: &mut u32) -> Result<TraceEvent, CodecError> {
+pub(crate) fn decode_event(cur: &mut Cursor<'_>, prev: &mut u32) -> Result<TraceEvent, CodecError> {
     let tag = cur.u8()?;
     let e = match tag {
         TAG_SEQUENTIAL | TAG_TAKEN_BRANCH | TAG_LINK_RETURN | TAG_INDIRECT => {
@@ -421,6 +447,67 @@ pub fn encode_into_with_hash(trace: &RecordedTrace, source_hash: u64, out: &mut 
     out.len() - start
 }
 
+/// The fields of a parsed `.wmtr` header, shared by the slice-backed
+/// [`Decoder`] and the file-backed [`crate::stream::StreamingTrace`] so
+/// the two front doors validate identically.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Header {
+    pub(crate) version: u16,
+    pub(crate) header_len: usize,
+    pub(crate) fetch_count: u64,
+    pub(crate) data_count: u64,
+    pub(crate) cycles: u64,
+    pub(crate) fetch_len: u64,
+    pub(crate) data_len: u64,
+    pub(crate) source_hash: u64,
+}
+
+impl Header {
+    /// Total byte length the header implies for the whole buffer/file
+    /// (header + both sections + trailer), or `Truncated` on overflow.
+    pub(crate) fn expected_total(&self) -> Result<u64, CodecError> {
+        (self.header_len as u64)
+            .checked_add(self.fetch_len)
+            .and_then(|v| v.checked_add(self.data_len))
+            .and_then(|v| v.checked_add(TRAILER_LEN as u64))
+            .ok_or(CodecError::Truncated)
+    }
+}
+
+/// Parses and validates the fixed header at the front of `bytes`
+/// (magic, version, field extraction). `bytes` only needs to hold the
+/// header itself; whole-buffer length and checksum checks are the
+/// caller's job since they need the rest of the data.
+pub(crate) fn parse_header(bytes: &[u8]) -> Result<Header, CodecError> {
+    if bytes.len() < HEADER_LEN_V1 {
+        return Err(CodecError::Truncated);
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
+    let header_len = match version {
+        FORMAT_VERSION => HEADER_LEN,
+        FORMAT_VERSION_V1 => HEADER_LEN_V1,
+        v => return Err(CodecError::UnsupportedVersion(v)),
+    };
+    if bytes.len() < header_len {
+        return Err(CodecError::Truncated);
+    }
+    let read_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte slice"));
+    Ok(Header {
+        version,
+        header_len,
+        fetch_count: read_u64(8),
+        data_count: read_u64(16),
+        cycles: read_u64(24),
+        fetch_len: read_u64(32),
+        data_len: read_u64(40),
+        source_hash: if version == FORMAT_VERSION { read_u64(48) } else { 0 },
+    })
+}
+
 /// Which of the two encoded streams to replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Section {
@@ -461,31 +548,11 @@ impl<'a> Decoder<'a> {
         if bytes.len() < HEADER_LEN_V1 + TRAILER_LEN {
             return Err(CodecError::Truncated);
         }
-        let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
-        if magic != MAGIC {
-            return Err(CodecError::BadMagic(magic));
-        }
-        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
-        let header_len = match version {
-            FORMAT_VERSION => HEADER_LEN,
-            FORMAT_VERSION_V1 => HEADER_LEN_V1,
-            v => return Err(CodecError::UnsupportedVersion(v)),
-        };
-        if bytes.len() < header_len + TRAILER_LEN {
+        let h = parse_header(bytes)?;
+        if bytes.len() < h.header_len + TRAILER_LEN {
             return Err(CodecError::Truncated);
         }
-        let read_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte slice"));
-        let fetch_count = read_u64(8);
-        let data_count = read_u64(16);
-        let cycles = read_u64(24);
-        let fetch_len = read_u64(32);
-        let data_len = read_u64(40);
-        let source_hash = if version == FORMAT_VERSION { read_u64(48) } else { 0 };
-        let expected = (header_len as u64)
-            .checked_add(fetch_len)
-            .and_then(|v| v.checked_add(data_len))
-            .and_then(|v| v.checked_add(TRAILER_LEN as u64))
-            .ok_or(CodecError::Truncated)?;
+        let expected = h.expected_total()?;
         if expected != bytes.len() as u64 {
             return Err(CodecError::LengthMismatch {
                 expected,
@@ -501,22 +568,23 @@ impl<'a> Decoder<'a> {
         }
         // Every event costs at least one byte, so counts larger than the
         // section reject cheaply (and bound any pre-allocation).
-        if fetch_count > fetch_len || data_count > data_len {
+        if h.fetch_count > h.fetch_len || h.data_count > h.data_len {
             return Err(CodecError::SectionMismatch {
-                declared: if fetch_count > fetch_len { fetch_count } else { data_count },
+                declared: if h.fetch_count > h.fetch_len { h.fetch_count } else { h.data_count },
                 decoded: 0,
             });
         }
-        let fetch_end = header_len + usize::try_from(fetch_len).map_err(|_| CodecError::Truncated)?;
-        let data_end = fetch_end + usize::try_from(data_len).map_err(|_| CodecError::Truncated)?;
+        let fetch_end =
+            h.header_len + usize::try_from(h.fetch_len).map_err(|_| CodecError::Truncated)?;
+        let data_end = fetch_end + usize::try_from(h.data_len).map_err(|_| CodecError::Truncated)?;
         Ok(Decoder {
-            fetch_section: &bytes[header_len..fetch_end],
+            fetch_section: &bytes[h.header_len..fetch_end],
             data_section: &bytes[fetch_end..data_end],
-            fetch_count,
-            data_count,
-            cycles,
-            version,
-            source_hash,
+            fetch_count: h.fetch_count,
+            data_count: h.data_count,
+            cycles: h.cycles,
+            version: h.version,
+            source_hash: h.source_hash,
         })
     }
 

@@ -14,6 +14,12 @@
 //!   materialize; [`codec::Decoder`] streams events straight into any
 //!   [`TraceSink`](waymem_isa::TraceSink) through batched
 //!   `events(&[TraceEvent])` calls without building a `Vec`.
+//! * [`stream`] — the bounded-memory counterpart of the codec:
+//!   [`StreamingEncoder`] sinks a producer's event stream straight to a
+//!   `.wmtr` file (byte-identical to the slice encoder) and
+//!   [`StreamingTrace`] replays from the file through a bounded window
+//!   — neither ever holds the event vector, so multi-GB captures cost
+//!   O(batch) resident memory.
 //! * [`workload`] — [`WorkloadId`], the storage key: a built-in kernel at
 //!   a scale, an external log identified by FNV-1a64 content hash, or a
 //!   synthetic generator spec ([`SynthSpec`]) — plus the [`fnv1a64`]
@@ -59,6 +65,7 @@
 
 pub mod codec;
 pub mod store;
+pub mod stream;
 pub mod workload;
 
 pub use codec::{
@@ -66,4 +73,5 @@ pub use codec::{
     Section,
 };
 pub use store::{StoreStats, TraceStore};
+pub use stream::{StreamError, StreamStats, StreamingEncoder, StreamingTrace};
 pub use workload::{fnv1a64, fnv1a64_update, SynthPattern, SynthSpec, WorkloadId, FNV1A64_SEED};

@@ -46,6 +46,7 @@ use std::time::SystemTime;
 use waymem_isa::RecordedTrace;
 
 use crate::codec;
+use crate::stream::{self, StreamError, StreamingTrace};
 use crate::workload::WorkloadId;
 
 /// A snapshot of a store's accounting.
@@ -57,6 +58,10 @@ pub struct StoreStats {
     pub hits: u64,
     /// Lookups served by decoding a cache-dir file (no production).
     pub disk_hits: u64,
+    /// [`TraceStore::open_stream`] calls served straight from an
+    /// existing file or an in-memory spill — i.e. without running the
+    /// producer and, crucially, without materializing the event vector.
+    pub stream_opens: u64,
     /// Lookups that had to run the recorder (cold misses).
     pub records: u64,
     /// Cached copies rejected because their source hash disagreed with
@@ -108,6 +113,7 @@ struct Counters {
     lookups: AtomicU64,
     hits: AtomicU64,
     disk_hits: AtomicU64,
+    stream_opens: AtomicU64,
     records: AtomicU64,
     stale: AtomicU64,
     raw_bytes: AtomicU64,
@@ -133,6 +139,7 @@ impl Counters {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            stream_opens: self.stream_opens.load(Ordering::Relaxed),
             records: self.records.load(Ordering::Relaxed),
             stale: self.stale.load(Ordering::Relaxed),
             raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
@@ -430,6 +437,114 @@ impl TraceStore {
         drop(guard);
         self.save_to_disk(key, source_hash, &trace);
         Ok(trace)
+    }
+
+    /// A unique scratch path for a store-less streaming open; the
+    /// returned [`StreamingTrace`] deletes it on drop.
+    fn scratch_stream_path(key: WorkloadId) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "waymem-scratch-{}-{n}-{}",
+            std::process::id(),
+            key.file_name()
+        ))
+    }
+
+    /// Returns a bounded-memory [`StreamingTrace`] handle for `key`,
+    /// running `produce` (which must write a complete `.wmtr` file to
+    /// the path it is given — e.g. through a
+    /// [`StreamingEncoder`](crate::stream::StreamingEncoder)) only when
+    /// no current copy exists.
+    ///
+    /// This is the streaming counterpart of
+    /// [`get_or_record`](Self::get_or_record), with one crucial
+    /// difference: a warm open **never re-materializes the event
+    /// vector**. With a cache dir, an existing file whose source hash is
+    /// current is validated and handed back directly (a `disk_hits` +
+    /// `stream_opens` event, `records` and `raw_bytes` untouched); if the
+    /// key's trace happens to sit in this process's memory already, it is
+    /// spilled to disk once and streamed from there (`hits` +
+    /// `stream_opens`). Without a cache dir the file lives under the
+    /// system temp dir and deletes itself when the handle drops.
+    ///
+    /// Staleness follows the same rule as `get_or_record`: a file whose
+    /// embedded hash disagrees with a nonzero `source_hash` is
+    /// re-produced, not replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the producer's error; [`StreamError`]s from writing or
+    /// validating the file are converted via `E: From<StreamError>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the key's lock panicked.
+    pub fn open_stream<E: From<StreamError>>(
+        &self,
+        key: WorkloadId,
+        source_hash: u64,
+        produce: impl FnOnce(&Path) -> Result<(), E>,
+    ) -> Result<StreamingTrace, E> {
+        let slot = self.slot(key);
+        let guard = slot.lock().expect("trace slot poisoned");
+        Counters::bump(&self.counters.lookups);
+        let mut was_stale = false;
+
+        let cached = guard
+            .as_ref()
+            .filter(|(h, _)| Self::hash_current(source_hash, *h))
+            .map(|(h, t)| (*h, Arc::clone(t)));
+
+        if let Some(path) = self.file_path(key) {
+            // Warm file: validate and stream straight from it. A corrupt
+            // or unreadable file is a plain miss (same policy as
+            // `load_from_disk`); a hash mismatch is a stale miss.
+            if path.exists() {
+                match StreamingTrace::open(&path) {
+                    Ok(st) if Self::hash_current(source_hash, st.source_hash()) => {
+                        Counters::bump(&self.counters.disk_hits);
+                        Counters::bump(&self.counters.stream_opens);
+                        return Ok(st);
+                    }
+                    Ok(_) => was_stale = true,
+                    Err(_) => {}
+                }
+            }
+            if let Some((hash, trace)) = cached {
+                // The events are in memory anyway: spill them once and
+                // stream from the file — still no production.
+                stream::write_encoded(&trace, hash, &path)
+                    .map_err(|e| E::from(StreamError::Io(e)))?;
+                Counters::bump(&self.counters.hits);
+                Counters::bump(&self.counters.stream_opens);
+                Counters::bump(&self.counters.files_saved);
+                drop(guard);
+                self.enforce_cache_cap(&path);
+                return StreamingTrace::open(&path).map_err(E::from);
+            }
+            if was_stale {
+                Counters::bump(&self.counters.stale);
+            }
+            produce(&path)?;
+            Counters::bump(&self.counters.records);
+            Counters::bump(&self.counters.files_saved);
+            drop(guard);
+            self.enforce_cache_cap(&path);
+            return StreamingTrace::open(&path).map_err(E::from);
+        }
+
+        // Memory-only store: the file is scratch, cleaned up on drop.
+        let path = Self::scratch_stream_path(key);
+        if let Some((hash, trace)) = cached {
+            stream::write_encoded(&trace, hash, &path).map_err(|e| E::from(StreamError::Io(e)))?;
+            Counters::bump(&self.counters.hits);
+            Counters::bump(&self.counters.stream_opens);
+        } else {
+            produce(&path)?;
+            Counters::bump(&self.counters.records);
+        }
+        Ok(StreamingTrace::open(&path).map_err(E::from)?.delete_on_drop())
     }
 
     /// The trace for `key` if it is already in memory. Does not consult
@@ -809,6 +924,89 @@ mod tests {
         if std::env::var_os("WAYMEM_TRACE_CACHE_MAX_BYTES").is_none() {
             assert_eq!(TraceStore::cache_cap_from_env(), None);
         }
+    }
+
+    /// Writes `trace` as a `.wmtr` at `path` — the shape every
+    /// `open_stream` producer has.
+    fn produce_file(trace: &RecordedTrace, hash: u64, path: &Path) -> Result<(), StreamError> {
+        stream::write_encoded(trace, hash, path)?;
+        Ok(())
+    }
+
+    #[test]
+    fn open_stream_produces_once_then_streams_without_materializing() {
+        let tmp = TempDir::new("openstream");
+        let store = TraceStore::with_cache_dir(&tmp.0);
+        let cold = store
+            .open_stream(dct(1), 0xfeed, |p| produce_file(&tiny_trace(4), 0xfeed, p))
+            .expect("produces");
+        assert_eq!(cold.cycles(), 4);
+        assert_eq!(cold.decode().expect("decodes"), tiny_trace(4));
+        let s = store.stats();
+        assert_eq!((s.records, s.stream_opens, s.files_saved), (1, 0, 1));
+
+        // Warm opens stream from the file: no production, no decode into
+        // memory — records and raw_bytes must not move.
+        let warm = store
+            .open_stream(dct(1), 0xfeed, |_| -> Result<(), StreamError> {
+                panic!("must not re-produce")
+            })
+            .expect("streams");
+        assert_eq!(warm.decode().expect("decodes"), tiny_trace(4));
+        let s = store.stats();
+        assert_eq!((s.records, s.disk_hits, s.stream_opens), (1, 1, 1));
+        assert_eq!(s.raw_bytes, 0, "warm streaming open must not materialize");
+    }
+
+    #[test]
+    fn open_stream_re_produces_stale_files() {
+        let tmp = TempDir::new("openstream-stale");
+        let store = TraceStore::with_cache_dir(&tmp.0);
+        store
+            .open_stream(dct(1), 0xaaaa, |p| produce_file(&tiny_trace(1), 0xaaaa, p))
+            .expect("produces");
+        let fresh = store
+            .open_stream(dct(1), 0xbbbb, |p| produce_file(&tiny_trace(2), 0xbbbb, p))
+            .expect("re-produces");
+        assert_eq!(fresh.cycles(), 2, "stale stream must not be replayed");
+        let s = store.stats();
+        assert_eq!((s.records, s.stale, s.stream_opens), (2, 1, 0));
+    }
+
+    #[test]
+    fn open_stream_spills_an_in_memory_trace_instead_of_reproducing() {
+        // Memory-only store: a prior get_or_record holds the trace, so a
+        // streaming open spills it to scratch rather than re-producing.
+        let store = TraceStore::new();
+        store
+            .get_or_record(dct(1), 0x77, || Ok::<_, StreamError>(tiny_trace(6)))
+            .expect("records");
+        let st = store
+            .open_stream(dct(1), 0x77, |_| -> Result<(), StreamError> {
+                panic!("must not re-produce")
+            })
+            .expect("spills");
+        assert_eq!(st.cycles(), 6);
+        let scratch = st.path().to_path_buf();
+        assert!(scratch.exists());
+        let s = store.stats();
+        assert_eq!((s.records, s.hits, s.stream_opens), (1, 1, 1));
+        drop(st);
+        assert!(!scratch.exists(), "scratch stream must clean up on drop");
+    }
+
+    #[test]
+    fn open_stream_without_store_dir_produces_self_cleaning_scratch() {
+        let store = TraceStore::new();
+        let st = store
+            .open_stream(dct(2), 0, |p| produce_file(&tiny_trace(3), 0, p))
+            .expect("produces");
+        let scratch = st.path().to_path_buf();
+        assert!(scratch.starts_with(std::env::temp_dir()));
+        assert_eq!(st.decode().expect("decodes"), tiny_trace(3));
+        assert_eq!(store.stats().records, 1);
+        drop(st);
+        assert!(!scratch.exists());
     }
 
     #[test]

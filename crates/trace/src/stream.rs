@@ -1,0 +1,797 @@
+//! File-backed streaming encode and replay for `.wmtr` traces.
+//!
+//! The [`codec`] module works over in-memory byte slices:
+//! good for cache round-trips, useless once a capture no longer fits in
+//! RAM (a few minutes of Valgrind/Lackey output is gigabytes). This
+//! module is the bounded-memory counterpart:
+//!
+//! * [`StreamingEncoder`] is a [`TraceSink`]: any producer — the CPU
+//!   interpreter, a log parser, a synthetic generator — pushes events
+//!   into it one at a time and they land on disk incrementally. Fetches
+//!   spool into the fetch section, loads/stores into the data section,
+//!   each through a small scratch buffer, so resident memory is O(buffer)
+//!   no matter how long the stream runs. [`StreamingEncoder::finish`]
+//!   then assembles the exact same v2 wire format as
+//!   [`codec::encode_into_with_hash`]
+//!   — byte for byte, checksum included — by splicing header, spooled
+//!   sections and trailer together in one streamed pass.
+//! * [`StreamingTrace`] is the read side: a validated handle to an
+//!   encoded file that replays events into any [`TraceSink`] through a
+//!   bounded window (refilling buffered reads, batched
+//!   [`TraceSink::events`] calls) without ever materializing the event
+//!   vector. Opening performs the same strictness as
+//!   [`Decoder::new`](crate::codec::Decoder::new): magic, version,
+//!   length arithmetic, and a full checksum pass over the file, so a
+//!   corrupt or truncated capture is an `Err` before a single event is
+//!   emitted. Replay takes `&self` and opens its own file handle per
+//!   call, so one handle fans out to many concurrent per-front cursors.
+//!
+//! The memory contract, concretely: replay holds one 64 KiB read window
+//! plus one batch of decoded events (default 4096 × 24 B ≈ 96 KiB) per
+//! active cursor. The batch size is tunable per handle via
+//! [`StreamingTrace::with_batch`] — the differential tests sweep it to
+//! pin batch-boundary independence.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use waymem_isa::{FetchKind, RecordedTrace, RecordingSink, TraceEvent, TraceSink};
+
+use crate::codec::{
+    self, CodecError, Section, FNV1A32_SEED, FORMAT_VERSION, HEADER_LEN, MAGIC, MAX_EVENT_WIRE,
+    REPLAY_CHUNK, TRAILER_LEN,
+};
+
+/// Scratch-buffer size for both the encoder's section spools and the
+/// reader's refill window. Big enough that syscall overhead vanishes,
+/// small enough that a dozen concurrent cursors stay cache-friendly.
+const WINDOW_BYTES: usize = 64 * 1024;
+
+/// Why a streamed trace file could not be written, opened, or replayed.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying file I/O failed.
+    Io(io::Error),
+    /// The file's bytes are not a valid `.wmtr` stream.
+    Codec(CodecError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "trace stream I/O error: {e}"),
+            StreamError::Codec(e) => write!(f, "trace stream decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<CodecError> for StreamError {
+    fn from(e: CodecError) -> Self {
+        StreamError::Codec(e)
+    }
+}
+
+/// What [`StreamingEncoder::finish`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events encoded into the fetch section.
+    pub fetch_events: u64,
+    /// Events encoded into the data section.
+    pub data_events: u64,
+    /// Total bytes of the finished file (header + sections + trailer).
+    pub bytes: u64,
+}
+
+impl StreamStats {
+    /// Total events across both sections.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.fetch_events + self.data_events
+    }
+}
+
+/// Removes its temp files when dropped, so an abandoned encode (producer
+/// error, panic unwinding) does not leave section spools behind.
+#[derive(Debug)]
+struct TempGuard(Vec<PathBuf>);
+
+impl Drop for TempGuard {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            let _ = fs::remove_file(p);
+        }
+    }
+}
+
+/// One section's spool: events encode into a scratch buffer that is
+/// flushed to a temp file, keeping resident memory bounded.
+#[derive(Debug)]
+struct SectionSpool {
+    path: PathBuf,
+    file: BufWriter<File>,
+    buf: Vec<u8>,
+    bytes: u64,
+    count: u64,
+    prev: u32,
+}
+
+impl SectionSpool {
+    fn create(path: PathBuf) -> io::Result<Self> {
+        let file = BufWriter::new(File::create(&path)?);
+        Ok(SectionSpool {
+            path,
+            file,
+            buf: Vec::with_capacity(WINDOW_BYTES + MAX_EVENT_WIRE),
+            bytes: 0,
+            count: 0,
+            prev: 0,
+        })
+    }
+
+    fn push(&mut self, e: TraceEvent) -> io::Result<()> {
+        codec::encode_event(&mut self.buf, e, &mut self.prev);
+        self.count += 1;
+        if self.buf.len() >= WINDOW_BYTES {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> io::Result<()> {
+        self.file.write_all(&self.buf)?;
+        self.bytes += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes everything to disk and closes the spool's writer.
+    fn seal(mut self) -> io::Result<(PathBuf, u64, u64)> {
+        self.flush_buf()?;
+        self.file.flush()?;
+        Ok((self.path, self.bytes, self.count))
+    }
+}
+
+/// A [`TraceSink`] that encodes its event stream straight to a `.wmtr`
+/// file with bounded resident memory.
+///
+/// Fetch events land in the fetch section, loads/stores in the data
+/// section — the same split [`RecordedTrace`] maintains — so a producer
+/// can stream events in program order and the finished file is
+/// byte-identical to materializing the trace and calling
+/// [`codec::encode_with_hash`].
+///
+/// `TraceSink` methods cannot return errors, so the encoder stashes the
+/// first I/O failure and reports it from [`finish`](Self::finish); after
+/// a failure every subsequent event is a no-op.
+#[derive(Debug)]
+pub struct StreamingEncoder {
+    out_path: PathBuf,
+    fetch: SectionSpool,
+    data: SectionSpool,
+    temps: TempGuard,
+    error: Option<io::Error>,
+}
+
+impl StreamingEncoder {
+    /// Opens an encoder that will write the finished stream to `path`,
+    /// spooling sections into `<path>.fetch.tmp` / `<path>.data.tmp`
+    /// alongside it in the meantime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures creating the parent directory or temp files.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let side = |suffix: &str| {
+            let mut os = path.as_os_str().to_owned();
+            os.push(suffix);
+            PathBuf::from(os)
+        };
+        let fetch_path = side(".fetch.tmp");
+        let data_path = side(".data.tmp");
+        let temps = TempGuard(vec![fetch_path.clone(), data_path.clone()]);
+        Ok(StreamingEncoder {
+            out_path: path.to_path_buf(),
+            fetch: SectionSpool::create(fetch_path)?,
+            data: SectionSpool::create(data_path)?,
+            temps,
+            error: None,
+        })
+    }
+
+    /// Events pushed so far (both sections).
+    #[must_use]
+    pub fn event_count(&self) -> u64 {
+        self.fetch.count + self.data.count
+    }
+
+    fn push(&mut self, section: Section, e: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let spool = match section {
+            Section::Fetch => &mut self.fetch,
+            Section::Data => &mut self.data,
+        };
+        if let Err(err) = spool.push(e) {
+            self.error = Some(err);
+        }
+    }
+
+    /// Seals the stream: writes the v2 header, splices both spooled
+    /// sections through an incremental checksum, appends the trailer,
+    /// and removes the temp spools. The result is byte-identical to
+    /// [`codec::encode_with_hash`] on
+    /// the materialized trace.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O failure, whether stashed during event push or hit
+    /// while assembling the final file.
+    pub fn finish(self, cycles: u64, source_hash: u64) -> Result<StreamStats, StreamError> {
+        let StreamingEncoder {
+            out_path,
+            fetch,
+            data,
+            temps,
+            error,
+        } = self;
+        if let Some(err) = error {
+            return Err(StreamError::Io(err));
+        }
+        let (fetch_path, fetch_len, fetch_count) = fetch.seal()?;
+        let (data_path, data_len, data_count) = data.seal()?;
+
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
+        header.extend_from_slice(&fetch_count.to_le_bytes());
+        header.extend_from_slice(&data_count.to_le_bytes());
+        header.extend_from_slice(&cycles.to_le_bytes());
+        header.extend_from_slice(&fetch_len.to_le_bytes());
+        header.extend_from_slice(&data_len.to_le_bytes());
+        header.extend_from_slice(&source_hash.to_le_bytes());
+        debug_assert_eq!(header.len(), HEADER_LEN);
+
+        let mut out = BufWriter::new(File::create(&out_path)?);
+        out.write_all(&header)?;
+        let mut checksum = codec::fnv1a32_update(FNV1A32_SEED, &header[MAGIC.len()..]);
+        let mut splice = |path: &Path| -> io::Result<()> {
+            let mut src = File::open(path)?;
+            let mut buf = vec![0u8; WINDOW_BYTES];
+            loop {
+                let n = src.read(&mut buf)?;
+                if n == 0 {
+                    return Ok(());
+                }
+                checksum = codec::fnv1a32_update(checksum, &buf[..n]);
+                out.write_all(&buf[..n])?;
+            }
+        };
+        splice(&fetch_path)?;
+        splice(&data_path)?;
+        out.write_all(&checksum.to_le_bytes())?;
+        out.flush()?;
+        drop(temps); // removes the section spools
+
+        let bytes = (HEADER_LEN as u64) + fetch_len + data_len + (TRAILER_LEN as u64);
+        Ok(StreamStats {
+            fetch_events: fetch_count,
+            data_events: data_count,
+            bytes,
+        })
+    }
+}
+
+impl TraceSink for StreamingEncoder {
+    fn fetch(&mut self, pc: u32, kind: FetchKind) {
+        self.push(Section::Fetch, TraceEvent::Fetch { pc, kind });
+    }
+
+    fn load(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        self.push(Section::Data, TraceEvent::Load { base, disp, addr, size });
+    }
+
+    fn store(&mut self, base: u32, disp: i32, addr: u32, size: u8) {
+        self.push(Section::Data, TraceEvent::Store { base, disp, addr, size });
+    }
+}
+
+/// Encodes an already-materialized trace to `path` in one pass — the
+/// spill bridge from the `Arc<RecordedTrace>` world into the streaming
+/// one (e.g. a store serving a streaming open from its in-memory cache).
+/// Returns the number of bytes written.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_encoded(trace: &RecordedTrace, source_hash: u64, path: &Path) -> io::Result<u64> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let bytes = codec::encode_with_hash(trace, source_hash);
+    fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// A validated, replayable handle to an encoded trace file.
+///
+/// Holds the header fields and the path — never the events. See the
+/// [module docs](self) for the memory contract.
+#[derive(Debug)]
+pub struct StreamingTrace {
+    path: PathBuf,
+    fetch_count: u64,
+    data_count: u64,
+    cycles: u64,
+    source_hash: u64,
+    version: u16,
+    fetch_offset: u64,
+    fetch_len: u64,
+    data_len: u64,
+    batch: usize,
+    delete_on_drop: bool,
+}
+
+impl StreamingTrace {
+    /// Opens and validates `path`: magic, version, length arithmetic,
+    /// and a full streamed checksum pass — the same strictness as
+    /// [`Decoder::new`](crate::codec::Decoder::new), so corruption or
+    /// truncation is an `Err` here, before any replay starts.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] if the file cannot be read,
+    /// [`StreamError::Codec`] if its bytes are malformed.
+    pub fn open(path: &Path) -> Result<Self, StreamError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < (codec::HEADER_LEN_V1 + TRAILER_LEN) as u64 {
+            return Err(CodecError::Truncated.into());
+        }
+        let mut header_bytes = [0u8; HEADER_LEN];
+        let header_read = usize::try_from(file_len.min(HEADER_LEN as u64)).expect("bounded");
+        file.read_exact(&mut header_bytes[..header_read])?;
+        let h = codec::parse_header(&header_bytes[..header_read])?;
+        if file_len < (h.header_len + TRAILER_LEN) as u64 {
+            return Err(CodecError::Truncated.into());
+        }
+        let expected = h.expected_total()?;
+        if expected != file_len {
+            return Err(CodecError::LengthMismatch { expected, found: file_len }.into());
+        }
+        if h.fetch_count > h.fetch_len || h.data_count > h.data_len {
+            return Err(CodecError::SectionMismatch {
+                declared: if h.fetch_count > h.fetch_len { h.fetch_count } else { h.data_count },
+                decoded: 0,
+            }
+            .into());
+        }
+
+        // Full-file checksum pass (everything after the magic, up to the
+        // trailer), streamed through a bounded buffer.
+        file.seek(SeekFrom::Start(MAGIC.len() as u64))?;
+        let mut covered = Read::by_ref(&mut file).take(file_len - (MAGIC.len() + TRAILER_LEN) as u64);
+        let mut checksum = FNV1A32_SEED;
+        let mut buf = vec![0u8; WINDOW_BYTES];
+        loop {
+            let n = covered.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            checksum = codec::fnv1a32_update(checksum, &buf[..n]);
+        }
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.read_exact(&mut trailer)?;
+        let stored = u32::from_le_bytes(trailer);
+        if stored != checksum {
+            return Err(CodecError::BadChecksum { stored, computed: checksum }.into());
+        }
+
+        Ok(StreamingTrace {
+            path: path.to_path_buf(),
+            fetch_count: h.fetch_count,
+            data_count: h.data_count,
+            cycles: h.cycles,
+            source_hash: h.source_hash,
+            version: h.version,
+            fetch_offset: h.header_len as u64,
+            fetch_len: h.fetch_len,
+            data_len: h.data_len,
+            batch: REPLAY_CHUNK,
+            delete_on_drop: false,
+        })
+    }
+
+    /// Sets the replay batch size (events per [`TraceSink::events`]
+    /// call), clamped to at least 1. Smaller batches shrink the scratch
+    /// buffer; the default (4096) amortizes the per-batch virtual
+    /// call. Replay results are batch-size independent — the
+    /// differential tests sweep this knob to prove it.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Marks the underlying file for removal when this handle drops —
+    /// the store-less temp-file path uses it so scratch captures clean
+    /// themselves up.
+    #[must_use]
+    pub fn delete_on_drop(mut self) -> Self {
+        self.delete_on_drop = true;
+        self
+    }
+
+    /// The file this handle replays from.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Instructions retired by the recorded run.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The source hash embedded in the header (0 = unknown / v1).
+    #[must_use]
+    pub fn source_hash(&self) -> u64 {
+        self.source_hash
+    }
+
+    /// The header's format version.
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Events in the fetch stream.
+    #[must_use]
+    pub fn fetch_count(&self) -> u64 {
+        self.fetch_count
+    }
+
+    /// Events in the data stream.
+    #[must_use]
+    pub fn data_count(&self) -> u64 {
+        self.data_count
+    }
+
+    /// Total events across both streams.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.fetch_count + self.data_count
+    }
+
+    /// `true` when the file holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Streams one section into `sink` through a bounded read window and
+    /// batched [`TraceSink::events`] calls. Takes `&self` and opens its
+    /// own file handle, so concurrent replays (one cursor per front) do
+    /// not contend. Returns the number of events replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] on read failure, [`StreamError::Codec`] if the
+    /// section's bytes are malformed (e.g. the file changed after
+    /// [`open`](Self::open)); events already emitted before the error
+    /// stand, exactly like
+    /// [`Decoder::replay_section`](crate::codec::Decoder::replay_section).
+    pub fn replay_section<S: TraceSink + ?Sized>(
+        &self,
+        section: Section,
+        sink: &mut S,
+    ) -> Result<u64, StreamError> {
+        let (offset, len, declared) = match section {
+            Section::Fetch => (self.fetch_offset, self.fetch_len, self.fetch_count),
+            Section::Data => (self.fetch_offset + self.fetch_len, self.data_len, self.data_count),
+        };
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut reader = file.take(len);
+
+        let mut window = vec![0u8; WINDOW_BYTES.max(MAX_EVENT_WIRE)];
+        let mut valid = 0usize; // bytes of section data in window[..valid]
+        let mut start = 0usize; // consumed prefix of window[..valid]
+        let mut exhausted = false; // reader hit EOF
+        let mut consumed = 0u64; // section bytes decoded so far
+        let mut decoded = 0u64;
+        let mut prev = 0u32;
+        let chunk_cap = self.batch.min(usize::try_from(declared).unwrap_or(self.batch)).max(1);
+        let mut chunk: Vec<TraceEvent> = Vec::with_capacity(chunk_cap);
+
+        loop {
+            if decoded == declared && consumed == len {
+                break; // clean finish: every declared event, every byte
+            }
+            // Compact the unconsumed tail to the front, then refill.
+            window.copy_within(start..valid, 0);
+            valid -= start;
+            while valid < window.len() && !exhausted {
+                let n = reader.read(&mut window[valid..])?;
+                if n == 0 {
+                    exhausted = true;
+                } else {
+                    valid += n;
+                }
+            }
+            if valid == 0 || decoded == declared {
+                // Out of bytes before the declared count, or bytes left
+                // over past the final event: corrupt counts.
+                return Err(CodecError::SectionMismatch { declared, decoded }.into());
+            }
+            let mut cur = codec::Cursor::new(&window[..valid]);
+            // Decode while a whole event is guaranteed to fit in the
+            // window (or the file is exhausted, in which case a
+            // mid-event shortage is a genuine Truncated error).
+            while decoded < declared
+                && !cur.done()
+                && (exhausted || cur.remaining() >= MAX_EVENT_WIRE)
+            {
+                chunk.push(codec::decode_event(&mut cur, &mut prev)?);
+                decoded += 1;
+                if chunk.len() == self.batch {
+                    sink.events(&chunk);
+                    chunk.clear();
+                }
+            }
+            start = cur.pos();
+            consumed += start as u64;
+        }
+        if !chunk.is_empty() {
+            sink.events(&chunk);
+        }
+        Ok(decoded)
+    }
+
+    /// Streams both sections (fetches, then loads/stores) into `sink`.
+    /// Returns the total number of events replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`StreamError`] from either section.
+    pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) -> Result<u64, StreamError> {
+        Ok(self.replay_section(Section::Fetch, sink)? + self.replay_section(Section::Data, sink)?)
+    }
+
+    /// Materializes the full [`RecordedTrace`] — the bridge back for
+    /// differential tests and small-trace callers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`StreamError`] from either section.
+    pub fn decode(&self) -> Result<RecordedTrace, StreamError> {
+        let mut fetch = RecordingSink {
+            events: Vec::with_capacity(RecordingSink::prealloc_cap(self.fetch_count)),
+        };
+        self.replay_section(Section::Fetch, &mut fetch)?;
+        let mut data = RecordingSink {
+            events: Vec::with_capacity(RecordingSink::prealloc_cap(self.data_count)),
+        };
+        self.replay_section(Section::Data, &mut data)?;
+        Ok(RecordedTrace {
+            fetch_events: fetch.events,
+            data_events: data.events,
+            cycles: self.cycles,
+        })
+    }
+}
+
+impl Drop for StreamingTrace {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_with_hash;
+    use waymem_isa::CountingSink;
+
+    /// Self-cleaning scratch directory (mirrors the store tests' helper).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("waymem-stream-test-{}-{tag}", std::process::id()));
+            fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+
+        fn path(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_trace() -> RecordedTrace {
+        let mut fetch_events = Vec::new();
+        let mut data_events = Vec::new();
+        for i in 0..10_000u32 {
+            let pc = 0x1000 + 8 * i;
+            let kind = if i % 97 == 0 && i > 0 {
+                FetchKind::TakenBranch { base: pc.wrapping_sub(8), disp: -(i as i32 % 64) }
+            } else {
+                FetchKind::Sequential
+            };
+            fetch_events.push(TraceEvent::Fetch { pc, kind });
+            if i % 3 == 0 {
+                data_events.push(TraceEvent::Load {
+                    base: 0x8000 + (i % 512),
+                    disp: 4,
+                    addr: 0x8004 + (i % 512),
+                    size: 4,
+                });
+            }
+        }
+        RecordedTrace { fetch_events, data_events, cycles: 10_000 }
+    }
+
+    fn encode_streaming(trace: &RecordedTrace, source_hash: u64, path: &Path) -> StreamStats {
+        let mut enc = StreamingEncoder::create(path).expect("create encoder");
+        // Interleave sections the way a real producer would.
+        let mut data = trace.data_events.iter();
+        for (i, &e) in trace.fetch_events.iter().enumerate() {
+            enc.events(&[e]);
+            if i % 3 == 0 {
+                if let Some(&d) = data.next() {
+                    enc.events(&[d]);
+                }
+            }
+        }
+        for &d in data {
+            enc.events(&[d]);
+        }
+        enc.finish(trace.cycles, source_hash).expect("finish")
+    }
+
+    #[test]
+    fn streaming_encoder_is_byte_identical_to_slice_encoder() {
+        let dir = TempDir::new("byte-identical");
+        let trace = sample_trace();
+        let path = dir.path("t.wmtr");
+        let stats = encode_streaming(&trace, 0xabcd_ef01_2345_6789, &path);
+        let streamed = fs::read(&path).expect("read");
+        let sliced = encode_with_hash(&trace, 0xabcd_ef01_2345_6789);
+        assert_eq!(streamed, sliced);
+        assert_eq!(stats.bytes, sliced.len() as u64);
+        assert_eq!(stats.fetch_events, trace.fetch_events.len() as u64);
+        assert_eq!(stats.data_events, trace.data_events.len() as u64);
+        // No temp spools left behind.
+        assert!(!dir.path("t.wmtr.fetch.tmp").exists());
+        assert!(!dir.path("t.wmtr.data.tmp").exists());
+    }
+
+    #[test]
+    fn streaming_trace_replays_the_exact_trace() {
+        let dir = TempDir::new("replay");
+        let trace = sample_trace();
+        let path = dir.path("t.wmtr");
+        encode_streaming(&trace, 7, &path);
+        let st = StreamingTrace::open(&path).expect("opens");
+        assert_eq!(st.cycles(), trace.cycles);
+        assert_eq!(st.source_hash(), 7);
+        assert_eq!(st.fetch_count(), trace.fetch_events.len() as u64);
+        assert_eq!(st.data_count(), trace.data_events.len() as u64);
+        assert_eq!(st.decode().expect("decodes"), trace);
+        let mut counts = CountingSink::default();
+        let replayed = st.replay(&mut counts).expect("replays");
+        assert_eq!(replayed, trace.len() as u64);
+        assert_eq!(counts.fetches, trace.fetch_events.len() as u64);
+        assert_eq!(counts.loads, trace.data_events.len() as u64);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_the_replay() {
+        let dir = TempDir::new("batch");
+        let trace = sample_trace();
+        let path = dir.path("t.wmtr");
+        encode_streaming(&trace, 0, &path);
+        let n = trace.fetch_events.len();
+        for batch in [1usize, 7, n - 1, n, n + 10] {
+            let st = StreamingTrace::open(&path).expect("opens").with_batch(batch);
+            assert_eq!(st.decode().expect("decodes"), trace, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let dir = TempDir::new("empty");
+        let path = dir.path("empty.wmtr");
+        let enc = StreamingEncoder::create(&path).expect("create");
+        let stats = enc.finish(0, 0).expect("finish");
+        assert_eq!(stats.events(), 0);
+        let st = StreamingTrace::open(&path).expect("opens");
+        assert!(st.is_empty());
+        assert_eq!(st.decode().expect("decodes"), RecordedTrace::default());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_error_at_open() {
+        let dir = TempDir::new("corrupt");
+        let trace = sample_trace();
+        let path = dir.path("t.wmtr");
+        encode_streaming(&trace, 0, &path);
+        let bytes = fs::read(&path).expect("read");
+        // Any single-byte flip fails the open-time checksum pass.
+        for at in [0usize, 5, HEADER_LEN + 3, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x01;
+            let p = dir.path("corrupt.wmtr");
+            fs::write(&p, &corrupt).expect("write");
+            assert!(StreamingTrace::open(&p).is_err(), "flip at {at} opened");
+        }
+        // Truncations fail length or checksum validation.
+        for len in [0usize, 10, HEADER_LEN, bytes.len() - 1] {
+            let p = dir.path("trunc.wmtr");
+            fs::write(&p, &bytes[..len]).expect("write");
+            assert!(StreamingTrace::open(&p).is_err(), "prefix of {len} opened");
+        }
+    }
+
+    #[test]
+    fn delete_on_drop_removes_the_file() {
+        let dir = TempDir::new("delete");
+        let path = dir.path("t.wmtr");
+        encode_streaming(&sample_trace(), 0, &path);
+        {
+            let st = StreamingTrace::open(&path).expect("opens").delete_on_drop();
+            assert!(st.path().exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn write_encoded_matches_the_slice_encoder() {
+        let dir = TempDir::new("spill");
+        let trace = sample_trace();
+        let path = dir.path("spill.wmtr");
+        let bytes = write_encoded(&trace, 42, &path).expect("writes");
+        let on_disk = fs::read(&path).expect("read");
+        assert_eq!(bytes, on_disk.len() as u64);
+        assert_eq!(on_disk, encode_with_hash(&trace, 42));
+        let st = StreamingTrace::open(&path).expect("opens");
+        assert_eq!(st.source_hash(), 42);
+        assert_eq!(st.decode().expect("decodes"), trace);
+    }
+}

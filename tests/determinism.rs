@@ -145,6 +145,106 @@ fn store_backed_run_is_bit_identical_to_direct_run() {
     assert_eq!(store.stats().hits, 1);
 }
 
+/// Path of the committed Lackey capture used by the ingest differential.
+fn lackey_fixture() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/ingest/tests/fixtures/lackey_small.log"
+    )
+}
+
+#[test]
+fn streaming_kernel_replay_is_bit_identical_to_materialized() {
+    // The bounded-memory streaming pipeline (record straight to a
+    // `.wmtr` file, replay in batches through per-front cursors) must
+    // be invisible in the results: every one of the seven kernels has
+    // to produce the exact f64 bits of the materialized engine.
+    for &bench in &Benchmark::ALL {
+        let materialized = kernel_exp(bench, ExecPolicy::Auto).run().expect("materialized");
+        let streamed = kernel_exp(bench, ExecPolicy::Auto)
+            .streaming(true)
+            .run()
+            .expect("streamed");
+        assert_identical(&materialized, &streamed);
+        assert!(materialized.cycles > 0, "{bench}: empty run is vacuous");
+    }
+}
+
+#[test]
+fn streaming_kernel_replay_is_bit_identical_under_both_policies() {
+    // The streaming replay has its own serial and parallel engines;
+    // both must agree with the materialized fanout, not just Auto.
+    for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+        let materialized = kernel_exp(Benchmark::Dct, policy).run().expect("materialized");
+        let streamed = kernel_exp(Benchmark::Dct, policy)
+            .streaming(true)
+            .run()
+            .expect("streamed");
+        assert_identical(&materialized, &streamed);
+    }
+}
+
+#[test]
+fn streaming_synthetic_replay_is_bit_identical_to_materialized() {
+    // Synthetic generation streams straight into the encoder sink in
+    // streaming mode instead of materializing a RecordedTrace first —
+    // same generator, different plumbing, identical results required.
+    let (d, i) = paper_schemes();
+    for spec in waymem::ingest::synth::standard_suite(3_000) {
+        let exp = || {
+            Experiment::synthetic(spec)
+                .dschemes(d.clone())
+                .ischemes(i.clone())
+        };
+        let materialized = exp().run().expect("materialized");
+        let streamed = exp().streaming(true).run().expect("streamed");
+        assert_identical(&materialized, &streamed);
+        assert!(materialized.dcache[0].stats.accesses > 0);
+    }
+}
+
+#[test]
+fn streaming_ingest_replay_is_bit_identical_to_materialized() {
+    // Ingestion parses the committed Lackey fixture directly into the
+    // streaming encoder (no Vec<TraceEvent> in between); the replay of
+    // that file must match the fully materialized parse bit for bit.
+    let (d, i) = paper_schemes();
+    let exp = || {
+        Experiment::ingest(lackey_fixture())
+            .format(LogFormat::Lackey)
+            .dschemes(d.clone())
+            .ischemes(i.clone())
+    };
+    let materialized = exp().run().expect("materialized ingest");
+    let streamed = exp().streaming(true).run().expect("streamed ingest");
+    assert_identical(&materialized, &streamed);
+    assert!(materialized.dcache[0].stats.accesses > 0, "fixture is vacuous");
+}
+
+#[test]
+fn streaming_store_backed_run_is_bit_identical_cold_and_warm() {
+    // A materialized store-backed run seeds the store; later streaming
+    // runs spill the in-memory trace to a `.wmtr` file and replay it in
+    // batches. Both streaming runs must reproduce the materialized one
+    // exactly, and neither may re-record the workload.
+    let store = TraceStore::new();
+    let seeded = kernel_exp(Benchmark::Fft, ExecPolicy::Auto)
+        .store(&store)
+        .run()
+        .expect("seeding run");
+    let exp = || {
+        kernel_exp(Benchmark::Fft, ExecPolicy::Auto)
+            .store(&store)
+            .streaming(true)
+    };
+    let first = exp().run().expect("first streaming");
+    let second = exp().run().expect("second streaming");
+    assert_identical(&seeded, &first);
+    assert_identical(&first, &second);
+    assert_eq!(store.stats().records, 1, "streaming must reuse the trace");
+    assert_eq!(store.stats().stream_opens, 2, "both runs must stream");
+}
+
 #[test]
 fn recorded_trace_replays_identically_twice() {
     // Replay must not mutate the trace or leak state between runs: two

@@ -197,10 +197,10 @@ fn warm_ingest_skips_the_parse_and_reports_no_meta() {
     };
     let cold = exp().prepare().expect("cold prepare");
     assert!(cold.ingest_meta().is_some(), "cold run parses");
-    let cold_result = cold.run();
+    let cold_result = cold.run().expect("cold replay");
     let warm = exp().prepare().expect("warm prepare");
     assert!(warm.ingest_meta().is_none(), "warm run replays the cache");
-    assert_identical(&cold_result, &warm.run());
+    assert_identical(&cold_result, &warm.run().expect("warm replay"));
     assert_eq!(store.stats().records, 1);
 }
 
@@ -282,6 +282,118 @@ fn suite_mixes_workload_kinds_in_order() {
 }
 
 #[test]
+fn streaming_suite_matches_materialized_suite_across_workload_kinds() {
+    // `Suite::streaming(true)` must thread the flag into every
+    // per-workload experiment: a mixed suite (kernel + synthetic +
+    // ingested log) replayed from on-disk `.wmtr` files in bounded
+    // batches reproduces the materialized suite bit for bit.
+    let spec = SynthSpec {
+        pattern: SynthPattern::Strided { stride: 64 },
+        accesses: 5_000,
+        seed: 1,
+    };
+    let log = TempLog::csv("stream-suite");
+    let suite = || {
+        Suite::new()
+            .workload(Benchmark::Dct)
+            .workload(spec)
+            .workload(log.0.clone())
+            .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+            .ischemes([IScheme::Original, IScheme::paper_way_memo()])
+    };
+    let materialized = suite().run().expect("materialized suite");
+    let streamed = suite().streaming(true).run().expect("streaming suite");
+    assert_eq!(materialized.len(), streamed.len());
+    for (a, b) in materialized.iter().zip(streamed.iter()) {
+        assert_identical(a, b);
+    }
+}
+
+#[test]
+fn streaming_recorded_workload_matches_materialized_replay() {
+    // A `Recorded` workload in streaming mode spills the given trace to
+    // a scratch `.wmtr` file and replays it from disk; the detour must
+    // be invisible in the results.
+    let trace = Arc::new(tiny_trace(600));
+    let id = WorkloadId::External { hash: 0xabcd };
+    let exp = || {
+        Experiment::recorded(id, trace.clone())
+            .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+            .ischemes([IScheme::Original])
+    };
+    let materialized = exp().run().expect("materialized");
+    let streamed = exp().streaming(true).run().expect("streamed");
+    assert_identical(&materialized, &streamed);
+}
+
+#[test]
+fn streaming_external_id_resolves_only_through_a_store() {
+    // Same contract as the materialized path: a bare external id has
+    // nothing to produce the file from, so without a store (or with a
+    // store that has never seen the id) the run fails structurally.
+    let id = WorkloadId::External { hash: 0xbeef };
+    let stream_err = Experiment::workload(id)
+        .dschemes([DScheme::Original])
+        .streaming(true)
+        .run()
+        .expect_err("no source for the trace");
+    assert_eq!(stream_err, RunError::MissingTrace { id });
+
+    // Seed the store in memory; the streaming run spills + replays it.
+    let store = TraceStore::new();
+    let trace = synth::generate(SynthSpec {
+        pattern: SynthPattern::Stream,
+        accesses: 100,
+        seed: 1,
+    });
+    store
+        .get_or_record(id, 0xbeef, || Ok::<_, std::convert::Infallible>(trace))
+        .expect("seeds the store");
+    let exp = |streaming| {
+        Experiment::workload(id)
+            .dschemes([DScheme::Original])
+            .store(&store)
+            .streaming(streaming)
+            .run()
+            .expect("resolves through the store")
+    };
+    assert_identical(&exp(false), &exp(true));
+    assert_eq!(store.stats().stream_opens, 1);
+}
+
+#[test]
+fn streaming_ingest_failures_are_structured_errors() {
+    // The streaming parse path reports the same structured errors as
+    // the materialized one: unreadable file, malformed line (with its
+    // number), and an empty capture.
+    let missing = Experiment::ingest("/nonexistent/waymem-no-such-log.csv")
+        .streaming(true)
+        .run()
+        .expect_err("missing file");
+    assert!(matches!(missing, RunError::Ingest { .. }), "{missing}");
+
+    let bad = TempLog::new("stream-bad.csv", "load,0x10,4\nnot a record\n");
+    let err = Experiment::ingest(&bad.0)
+        .streaming(true)
+        .run()
+        .expect_err("malformed log");
+    match &err {
+        RunError::Ingest { path, message } => {
+            assert_eq!(path, &bad.0);
+            assert!(message.contains("line 2"), "{message}");
+        }
+        other => panic!("expected Ingest, got {other:?}"),
+    }
+
+    let empty = TempLog::new("stream-empty.csv", "# nothing here\n");
+    let err = Experiment::ingest(&empty.0)
+        .streaming(true)
+        .run()
+        .expect_err("empty log");
+    assert!(matches!(err, RunError::Ingest { .. }), "{err}");
+}
+
+#[test]
 fn suite_policies_are_bit_identical() {
     let (d, i) = schemes();
     let run = |policy| {
@@ -331,6 +443,7 @@ proptest! {
         ni in 0usize..4,
         policy_kind in 0u8..3,
         use_store in proptest::bool::ANY,
+        streaming in proptest::bool::ANY,
         geom_kind in 0u8..3,
     ) {
         let pattern = match pattern_kind {
@@ -374,7 +487,8 @@ proptest! {
             .geometry(geometry)
             .dschemes(waymem::sim::full_dschemes().into_iter().take(nd))
             .ischemes(waymem::sim::full_ischemes().into_iter().take(ni))
-            .policy(policy);
+            .policy(policy)
+            .streaming(streaming);
         if use_store {
             exp = exp.store(&store);
         }
