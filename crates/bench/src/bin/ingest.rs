@@ -37,8 +37,8 @@ use waymem_bench::json::{store_stats_json, Json};
 use waymem_bench::{full_dschemes, full_ischemes, store_from_env};
 use waymem_ingest::{synth, LogFormat};
 use waymem_sim::{
-    Experiment, FigureRow, Prepared, RunError, SchemeResult, SimConfig, SimResult, TraceSource,
-    WorkloadId,
+    catch_worker, Experiment, FigureRow, Prepared, RunError, SchemeResult, SimConfig, SimResult,
+    TraceSource, WorkloadId,
 };
 
 /// One evaluated workload: where it came from, what ran, how fast the
@@ -207,6 +207,10 @@ fn main() -> ExitCode {
     let ischemes = full_ischemes();
     let store = store_from_env();
     let mut rows: Vec<Row> = Vec::new();
+    // Per-workload failure isolation: one unreadable log (or a worker
+    // panic) skips that workload and is reported, instead of discarding
+    // every other result in the batch.
+    let mut failures: Vec<(String, RunError)> = Vec::new();
 
     for path in &opts.logs {
         let format = opts.forced_format.unwrap_or_else(|| LogFormat::for_path(path));
@@ -217,54 +221,52 @@ fn main() -> ExitCode {
         // cache the `.wmtr` disk hit then skips parsing (and the event
         // materialization) entirely — for a multi-GB capture the parse
         // *is* the cost.
-        let prepared = Experiment::ingest(path)
-            .format(format)
-            .config(cfg)
-            .dschemes(dschemes.clone())
-            .ischemes(ischemes.clone())
-            .store(&store)
-            .streaming(opts.streaming)
-            .prepare();
-        let prepared = match prepared {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("ingest: {e}");
-                return ExitCode::FAILURE;
+        let outcome = catch_worker(|| {
+            let prepared = Experiment::ingest(path)
+                .format(format)
+                .config(cfg)
+                .dschemes(dschemes.clone())
+                .ischemes(ischemes.clone())
+                .store(&store)
+                .streaming(opts.streaming)
+                .prepare()?;
+            let hash = prepared.source_hash();
+            let meta = prepared.ingest_meta();
+            let (fetches, data) = match prepared.source() {
+                TraceSource::Materialized(t) => {
+                    (t.fetch_events.len() as u64, t.data_events.len() as u64)
+                }
+                TraceSource::Streaming(t) => (t.fetch_count(), t.data_count()),
+            };
+            match meta {
+                Some(m) => eprintln!(
+                    "ingest: {label}: {} lines ({} skipped), {fetches} fetches, {data} loads/stores, hash {hash:016x}",
+                    m.lines, m.skipped,
+                ),
+                None => eprintln!(
+                    "ingest: {label}: replayed cached trace ({fetches} fetches, {data} loads/stores), hash {hash:016x}",
+                ),
             }
-        };
-        let hash = prepared.source_hash();
-        let meta = prepared.ingest_meta();
-        let (fetches, data) = match prepared.source() {
-            TraceSource::Materialized(t) => (t.fetch_events.len() as u64, t.data_events.len() as u64),
-            TraceSource::Streaming(t) => (t.fetch_count(), t.data_count()),
-        };
-        match meta {
-            Some(m) => eprintln!(
-                "ingest: {label}: {} lines ({} skipped), {fetches} fetches, {data} loads/stores, hash {hash:016x}",
-                m.lines, m.skipped,
-            ),
-            None => eprintln!(
-                "ingest: {label}: replayed cached trace ({fetches} fetches, {data} loads/stores), hash {hash:016x}",
-            ),
-        }
-        let mut source = vec![
-            ("kind".to_owned(), Json::from("external")),
-            ("path".to_owned(), Json::from(path.display().to_string())),
-            (
-                "format".to_owned(),
-                Json::from(if format == LogFormat::Csv { "csv" } else { "lackey" }),
-            ),
-            ("content_hash".to_owned(), Json::from(format!("{hash:016x}"))),
-        ];
-        if let Some(m) = meta {
-            source.push(("lines".to_owned(), Json::from(m.lines)));
-            source.push(("skipped_lines".to_owned(), Json::from(m.skipped)));
-        }
-        match replay_row(prepared, label, Json::Object(source), opts.streaming) {
+            let mut source = vec![
+                ("kind".to_owned(), Json::from("external")),
+                ("path".to_owned(), Json::from(path.display().to_string())),
+                (
+                    "format".to_owned(),
+                    Json::from(if format == LogFormat::Csv { "csv" } else { "lackey" }),
+                ),
+                ("content_hash".to_owned(), Json::from(format!("{hash:016x}"))),
+            ];
+            if let Some(m) = meta {
+                source.push(("lines".to_owned(), Json::from(m.lines)));
+                source.push(("skipped_lines".to_owned(), Json::from(m.skipped)));
+            }
+            replay_row(prepared, label.clone(), Json::Object(source), opts.streaming)
+        });
+        match outcome {
             Ok(row) => rows.push(row),
             Err(e) => {
-                eprintln!("ingest: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("ingest: {label}: {e} — skipping workload");
+                failures.push((label, e));
             }
         }
     }
@@ -286,13 +288,14 @@ fn main() -> ExitCode {
                 ("seed", Json::from(spec.seed)),
                 ("generator_version", Json::from(synth::GENERATOR_VERSION)),
             ]);
-            let row = prepared
-                .and_then(|p| replay_row(p, id.name(), source, opts.streaming));
+            let row = catch_worker(|| {
+                prepared.and_then(|p| replay_row(p, id.name(), source, opts.streaming))
+            });
             match row {
                 Ok(row) => rows.push(row),
                 Err(e) => {
-                    eprintln!("ingest: {e}");
-                    return ExitCode::FAILURE;
+                    eprintln!("ingest: {}: {e} — skipping workload", id.name());
+                    failures.push((id.name(), e));
                 }
             }
         }
@@ -328,6 +331,16 @@ fn main() -> ExitCode {
             }
         }
     }
+    let failure_rows: Vec<Json> = failures
+        .iter()
+        .map(|(workload, error)| {
+            Json::object(vec![
+                ("workload", Json::from(workload.clone())),
+                ("error", Json::from(error.to_string())),
+                ("retryable", Json::from(error.is_retryable())),
+            ])
+        })
+        .collect();
     let json = Json::object(vec![
         ("schema", Json::from("waymem/ingest/v1")),
         (
@@ -339,6 +352,7 @@ fn main() -> ExitCode {
             ]),
         ),
         ("workloads", Json::Array(workloads)),
+        ("failures", Json::Array(failure_rows)),
         ("trace_store", store_stats_json(&store.stats())),
         ("rows", Json::Array(json_rows)),
     ]);
@@ -352,5 +366,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", json_path.display());
+    if !failures.is_empty() {
+        eprintln!("ingest: {} workload(s) failed:", failures.len());
+        for (workload, error) in &failures {
+            eprintln!("ingest:   {workload}: {error}");
+        }
+    }
+    // Isolation, not indifference: partial results with failures noted
+    // still exit 0, but a batch where *nothing* survived is a failure.
+    if rows.is_empty() {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -156,6 +156,9 @@ pub fn store_stats_json(stats: &waymem_trace::StoreStats) -> Json {
         ("files_loaded", Json::from(stats.files_loaded)),
         ("files_evicted", Json::from(stats.files_evicted)),
         ("bytes_evicted", Json::from(stats.bytes_evicted)),
+        ("quarantined", Json::from(stats.quarantined)),
+        ("recovered", Json::from(stats.recovered)),
+        ("io_retries", Json::from(stats.io_retries)),
     ])
 }
 
@@ -176,6 +179,9 @@ mod tests {
             "encoded_bytes",
             "files_evicted",
             "bytes_evicted",
+            "quarantined",
+            "recovered",
+            "io_retries",
         ] {
             assert!(rendered.contains(&format!("\"{key}\":")), "missing {key} in {rendered}");
         }

@@ -122,6 +122,51 @@ mod tests {
         parse(Cursor::new(s.to_owned()))
     }
 
+    /// A reader whose `read_line` fails with `Interrupted` before every
+    /// line (see the sibling test in `lackey.rs`): the pump's retry must
+    /// absorb the transient without miscounting or misparsing.
+    struct InterruptingReader {
+        inner: Cursor<String>,
+        interrupt_next: bool,
+    }
+
+    impl std::io::Read for InterruptingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl BufRead for InterruptingReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            self.inner.fill_buf()
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.inner.consume(amt);
+        }
+
+        fn read_line(&mut self, buf: &mut String) -> std::io::Result<usize> {
+            self.interrupt_next = !self.interrupt_next;
+            if self.interrupt_next {
+                return Err(std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR"));
+            }
+            self.inner.read_line(buf)
+        }
+    }
+
+    #[test]
+    fn transient_interrupts_are_retried_not_errors() {
+        let sample = "fetch,0x1000,4\nload,0x20008\nstore,131084,8\n";
+        let interrupted = parse(InterruptingReader {
+            inner: Cursor::new(sample.to_owned()),
+            interrupt_next: false,
+        })
+        .expect("EINTR must be absorbed, not surfaced");
+        let plain = parse_str(sample).expect("parses");
+        assert_eq!(interrupted.trace, plain.trace);
+        assert_eq!(interrupted.lines, plain.lines);
+    }
+
     #[test]
     fn the_documented_grammar_parses() {
         let ing = parse_str(

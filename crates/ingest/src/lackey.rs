@@ -109,6 +109,51 @@ mod tests {
         parse(Cursor::new(s.to_owned()))
     }
 
+    /// A reader whose `read_line` fails with `Interrupted` before every
+    /// line — the transient `EINTR` shape the shared line pump must
+    /// retry in place rather than surface as a malformed-input error.
+    struct InterruptingReader {
+        inner: Cursor<String>,
+        interrupt_next: bool,
+    }
+
+    impl std::io::Read for InterruptingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl BufRead for InterruptingReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            self.inner.fill_buf()
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.inner.consume(amt);
+        }
+
+        fn read_line(&mut self, buf: &mut String) -> std::io::Result<usize> {
+            self.interrupt_next = !self.interrupt_next;
+            if self.interrupt_next {
+                return Err(std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR"));
+            }
+            self.inner.read_line(buf)
+        }
+    }
+
+    #[test]
+    fn transient_interrupts_are_retried_not_errors() {
+        let sample = "I  0023C790,2\n L 0025747C,4\n S BE80199C,4\n";
+        let interrupted = parse(InterruptingReader {
+            inner: Cursor::new(sample.to_owned()),
+            interrupt_next: false,
+        })
+        .expect("EINTR must be absorbed, not surfaced");
+        let plain = parse_str(sample).expect("parses");
+        assert_eq!(interrupted.trace, plain.trace);
+        assert_eq!(interrupted.lines, plain.lines);
+    }
+
     #[test]
     fn the_documented_sample_parses() {
         let ing = parse_str("I  0023C790,2\n L 0025747C,4\n S BE80199C,4\n M 0025747C,1\n")

@@ -468,11 +468,35 @@ pub fn hash_file(path: impl AsRef<Path>) -> io::Result<u64> {
     let mut hash = FNV1A64_SEED;
     let mut buf = [0u8; 64 * 1024];
     loop {
-        let n = file.read(&mut buf)?;
+        let n = retry_interrupted(|| file.read(&mut buf))?;
         if n == 0 {
             return Ok(hash);
         }
         hash = fnv1a64_update(hash, &buf[..n]);
+    }
+}
+
+/// How many consecutive transient (`Interrupted`/`WouldBlock`) errors a
+/// read loop absorbs before surfacing the error. Real `EINTR` storms are
+/// short; the bound keeps a wedged descriptor from spinning forever.
+const MAX_TRANSIENT_RETRIES: u32 = 8;
+
+/// Runs `op`, retrying transient errors a bounded number of times. A
+/// transient failure is an environment hiccup, not malformed input — it
+/// must never surface as a parse error.
+fn retry_interrupted<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempts = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock)
+                    && attempts < MAX_TRANSIENT_RETRIES =>
+            {
+                attempts += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -481,6 +505,10 @@ pub fn hash_file(path: impl AsRef<Path>) -> io::Result<u64> {
 /// which either consumes it (pushing events into the builder, which
 /// forwards them to `sink`), skips it, or rejects it with a
 /// [`ParseErrorKind`].
+///
+/// Transient read errors are retried in place — `read_line` appends to
+/// `raw`, so whatever partial line an interrupted call left behind is
+/// completed by the retry, not discarded.
 pub(crate) fn drive<R: BufRead, S: TraceSink>(
     mut reader: R,
     sink: S,
@@ -490,7 +518,7 @@ pub(crate) fn drive<R: BufRead, S: TraceSink>(
     let mut raw = String::new();
     loop {
         raw.clear();
-        if reader.read_line(&mut raw)? == 0 {
+        if retry_interrupted(|| reader.read_line(&mut raw))? == 0 {
             return Ok(builder.finish());
         }
         let line_no = builder.start_line(&raw);

@@ -150,7 +150,7 @@ enum StoreSel<'s> {
     #[default]
     None,
     Borrowed(&'s TraceStore),
-    Owned(TraceStore),
+    Owned(Box<TraceStore>),
 }
 
 impl StoreSel<'_> {
@@ -158,7 +158,7 @@ impl StoreSel<'_> {
         match self {
             StoreSel::None => None,
             StoreSel::Borrowed(s) => Some(s),
-            StoreSel::Owned(s) => Some(s),
+            StoreSel::Owned(s) => Some(s.as_ref()),
         }
     }
 }
@@ -294,7 +294,7 @@ impl<'s> Experiment<'s> {
     /// ([`TraceStore::from_env`]): `WAYMEM_TRACE_CACHE` enables a
     /// persistent cache dir, `WAYMEM_TRACE_CACHE_MAX_BYTES` caps it.
     pub fn store_from_env(mut self) -> Self {
-        self.store = StoreSel::Owned(TraceStore::from_env());
+        self.store = StoreSel::Owned(Box::new(TraceStore::from_env()));
         self
     }
 
@@ -733,16 +733,19 @@ impl Prepared {
     /// # Errors
     ///
     /// [`RunError::Stream`] when a streaming source's file fails to read
-    /// or decode mid-replay; materialized replay is infallible.
+    /// or decode mid-replay, [`RunError::Worker`] if a scheme-replay
+    /// worker panics; materialized replay is otherwise infallible.
     pub fn run(self) -> Result<SimResult, RunError> {
-        replay_source_with_policy(
-            self.id,
-            &self.source,
-            &self.cfg,
-            &self.dschemes,
-            &self.ischemes,
-            self.policy,
-        )
+        catch_worker(|| {
+            replay_source_with_policy(
+                self.id,
+                &self.source,
+                &self.cfg,
+                &self.dschemes,
+                &self.ischemes,
+                self.policy,
+            )
+        })
     }
 }
 
@@ -771,6 +774,7 @@ pub struct Suite<'s> {
     store: StoreSel<'s>,
     policy: ExecPolicy,
     streaming: bool,
+    isolate_failures: bool,
 }
 
 impl Default for Suite<'_> {
@@ -791,6 +795,7 @@ impl Suite<'_> {
             store: StoreSel::None,
             policy: ExecPolicy::Auto,
             streaming: false,
+            isolate_failures: false,
         }
     }
 
@@ -868,7 +873,7 @@ impl<'s> Suite<'s> {
     /// Like [`store`](Suite::store), but owned and wired from the
     /// environment ([`TraceStore::from_env`]).
     pub fn store_from_env(mut self) -> Self {
-        self.store = StoreSel::Owned(TraceStore::from_env());
+        self.store = StoreSel::Owned(Box::new(TraceStore::from_env()));
         self
     }
 
@@ -888,19 +893,36 @@ impl<'s> Suite<'s> {
         self
     }
 
+    /// Continue past per-workload failures instead of aborting the whole
+    /// suite on the first one: failed workloads are recorded in
+    /// [`SuiteResult::failures`] (after one serial retry when
+    /// [`RunError::is_retryable`] says the environment may have healed)
+    /// while every other workload still produces its result. Off by
+    /// default — a plain `run()` keeps the strict first-error contract.
+    pub fn isolate_failures(mut self, isolate: bool) -> Self {
+        self.isolate_failures = isolate;
+        self
+    }
+
     /// Runs every workload and collects the results in workload order.
     ///
     /// Fan-out is bounded at both levels: at most
     /// [`std::thread::available_parallelism`] workload workers, each
     /// running the inner scheme replay under the same policy. Workers
     /// are joined in workload order, so result order — and which error
-    /// is reported — matches a serial loop exactly.
+    /// is reported — matches a serial loop exactly. A panicking workload
+    /// is caught at the worker boundary and surfaces as
+    /// [`RunError::Worker`], never as a suite-wide abort.
     ///
     /// # Errors
     ///
-    /// The first [`RunError`] in workload order.
+    /// The first [`RunError`] in workload order — unless
+    /// [`isolate_failures`](Suite::isolate_failures) is on, in which
+    /// case errors land in [`SuiteResult::failures`] and `run` itself
+    /// only reports them, it does not fail.
     pub fn run(self) -> Result<SuiteResult, RunError> {
-        let Suite { workloads, cfg, dschemes, ischemes, store, policy, streaming } = self;
+        let Suite { workloads, cfg, dschemes, ischemes, store, policy, streaming, isolate_failures } =
+            self;
         let store_ref = store.get();
         let run_one = |w: &WorkloadSpec| {
             let exp = Experiment {
@@ -915,7 +937,7 @@ impl<'s> Suite<'s> {
                 policy,
                 streaming,
             };
-            exp.run()
+            catch_worker(|| exp.run())
         };
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
         let parallel = match policy {
@@ -926,38 +948,125 @@ impl<'s> Suite<'s> {
             // either way).
             ExecPolicy::Auto => workers > 1,
         };
-        let results: Result<Vec<SimResult>, RunError> = if parallel && workloads.len() > 1 {
+        let outcomes: Vec<Result<SimResult, RunError>> = if parallel && workloads.len() > 1 {
             let chunk = workloads.len().div_ceil(workers).max(1);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = workloads
                     .chunks(chunk)
                     .map(|group| {
-                        scope.spawn(move || group.iter().map(run_one).collect::<Vec<_>>())
+                        (group.len(), scope.spawn(move || group.iter().map(run_one).collect::<Vec<_>>()))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("suite worker panicked"))
+                    .flat_map(|(len, handle)| {
+                        // `run_one` catches workload panics itself; this
+                        // guards the residual worker plumbing.
+                        handle.join().unwrap_or_else(|payload| {
+                            let message = panic_message(payload.as_ref());
+                            std::iter::repeat_with(|| {
+                                Err(RunError::Worker { message: message.clone() })
+                            })
+                            .take(len)
+                            .collect()
+                        })
+                    })
                     .collect()
             })
         } else {
             workloads.iter().map(run_one).collect()
         };
+        let mut results = Vec::with_capacity(workloads.len());
+        let mut failures = Vec::new();
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(result) => results.push(result),
+                Err(error) if isolate_failures => {
+                    let retryable = error.is_retryable();
+                    // Transient failures get one serial retry: the store
+                    // may have healed (quarantine + re-record) since the
+                    // parallel attempt.
+                    let healed = retryable.then(|| run_one(&workloads[index]).ok()).flatten();
+                    match healed {
+                        Some(result) => results.push(result),
+                        None => {
+                            let workload = describe_workload(&workloads[index]);
+                            eprintln!("waymem-sim: workload {workload} failed: {error}");
+                            failures.push(SuiteFailure { index, workload, error, retryable });
+                        }
+                    }
+                }
+                Err(error) => return Err(error),
+            }
+        }
         Ok(SuiteResult {
-            results: results?,
+            results,
+            failures,
             store_stats: store_ref.map(TraceStore::stats),
         })
     }
+}
+
+/// Runs `f`, converting an escaping panic into a structured
+/// [`RunError::Worker`] — the boundary [`Suite::run`] wraps every
+/// workload in so one poisoned workload cannot take down its siblings.
+pub fn catch_worker<T>(f: impl FnOnce() -> Result<T, RunError>) -> Result<T, RunError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .unwrap_or_else(|payload| Err(RunError::Worker { message: panic_message(payload.as_ref()) }))
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// A short display name for a workload, for failure reports.
+fn describe_workload(w: &WorkloadSpec) -> String {
+    match w {
+        WorkloadSpec::Kernel(bench) => bench.to_string(),
+        WorkloadSpec::Id(id) | WorkloadSpec::Recorded { id, .. } => id.to_string(),
+        WorkloadSpec::Synthetic(spec) => WorkloadId::Synthetic(*spec).to_string(),
+        WorkloadSpec::Log { path, .. } => path.display().to_string(),
+    }
+}
+
+/// One workload's failure in an isolating ([`Suite::isolate_failures`])
+/// suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteFailure {
+    /// Index of the workload in the order it was added to the suite.
+    pub index: usize,
+    /// Short display name of the failed workload.
+    pub workload: String,
+    /// What went wrong.
+    pub error: RunError,
+    /// Whether [`RunError::is_retryable`] held — if so, the suite
+    /// already spent its one serial retry before recording the failure.
+    pub retryable: bool,
 }
 
 /// The outcome of a [`Suite`] run: per-workload results in workload
 /// order, plus a snapshot of the store's accounting when one was
 /// attached. Dereferences to `[SimResult]`, so indexing and iteration
 /// work like on the plain vector the legacy drivers returned.
+///
+/// Under [`Suite::isolate_failures`], `results` holds the workloads that
+/// succeeded (still in workload order, failed ones skipped) and
+/// [`failures`](Self::failures) records the rest; a strict run always
+/// has `failures.is_empty()`.
 #[derive(Debug, Clone)]
 pub struct SuiteResult {
-    /// One result per workload, in the order the workloads were added.
+    /// One result per succeeded workload, in the order the workloads
+    /// were added.
     pub results: Vec<SimResult>,
+    /// The workloads that failed, in workload order (always empty
+    /// without [`Suite::isolate_failures`] — a strict run aborts
+    /// instead).
+    pub failures: Vec<SuiteFailure>,
     /// The attached store's statistics, snapshotted right after the run
     /// (`None` when the suite ran store-less).
     pub store_stats: Option<StoreStats>,
@@ -968,6 +1077,27 @@ impl SuiteResult {
     #[must_use]
     pub fn into_results(self) -> Vec<SimResult> {
         self.results
+    }
+
+    /// `true` when every workload produced a result.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A one-line-per-failure human-readable report, or `None` when the
+    /// run was complete.
+    #[must_use]
+    pub fn failure_report(&self) -> Option<String> {
+        if self.failures.is_empty() {
+            return None;
+        }
+        let lines: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| format!("workload {} ({}): {}", f.index, f.workload, f.error))
+            .collect();
+        Some(lines.join("\n"))
     }
 }
 

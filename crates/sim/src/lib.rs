@@ -83,7 +83,8 @@ mod report;
 pub mod run;
 
 pub use experiment::{
-    ExecPolicy, Experiment, IngestMeta, Prepared, Suite, SuiteResult, WorkloadSpec,
+    catch_worker, ExecPolicy, Experiment, IngestMeta, Prepared, Suite, SuiteFailure, SuiteResult,
+    WorkloadSpec,
 };
 pub use frontends::{DFront, DScheme, IFront, IScheme};
 pub use presets::{fig4_dschemes, fig6_ischemes, full_dschemes, full_ischemes};

@@ -97,6 +97,25 @@ pub enum RunError {
         /// What went wrong with the stream.
         message: String,
     },
+    /// A worker thread panicked mid-run. The panic is caught at the
+    /// suite boundary and converted into this structured error so one
+    /// bad workload cannot take down its siblings.
+    Worker {
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl RunError {
+    /// Whether retrying the same run could plausibly succeed. Transient
+    /// environment failures — I/O during ingest, a streaming trace file
+    /// torn by a racing process — are retryable; deterministic failures
+    /// (bad assembly, a CPU fault, an exhausted step budget, a missing
+    /// trace, a worker panic) would only repeat themselves.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RunError::Ingest { .. } | RunError::Stream { .. })
+    }
 }
 
 impl fmt::Display for RunError {
@@ -116,6 +135,9 @@ impl fmt::Display for RunError {
             RunError::Stream { message } => {
                 write!(f, "streaming trace failed: {message}")
             }
+            RunError::Worker { message } => {
+                write!(f, "worker thread panicked: {message}")
+            }
         }
     }
 }
@@ -128,7 +150,8 @@ impl Error for RunError {
             RunError::StepLimit { .. }
             | RunError::Ingest { .. }
             | RunError::MissingTrace { .. }
-            | RunError::Stream { .. } => None,
+            | RunError::Stream { .. }
+            | RunError::Worker { .. } => None,
         }
     }
 }

@@ -24,6 +24,12 @@
 //!   a scale, an external log identified by FNV-1a64 content hash, or a
 //!   synthetic generator spec ([`SynthSpec`]) — plus the [`fnv1a64`]
 //!   content-hash helpers everything shares.
+//! * [`fault`] — the robustness seam: a seeded deterministic
+//!   [`FaultPlan`] with an injecting I/O wrapper ([`FaultFile`]) and the
+//!   [`StoreIo`] handle the store/stream disk paths route through —
+//!   plus the crash-safety primitives (atomic temp+fsync+rename writes,
+//!   bounded transient retry) production code uses whether or not a
+//!   plan is armed.
 //! * [`store`] — [`TraceStore`], a thread-safe cache keyed by
 //!   [`WorkloadId`]: records on first miss, hands out shared
 //!   `Arc` traces thereafter, counts hits/misses/bytes, detects *stale*
@@ -64,6 +70,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod codec;
+pub mod fault;
 pub mod store;
 pub mod stream;
 pub mod workload;
@@ -72,6 +79,7 @@ pub use codec::{
     decode, encode, encode_into, encode_into_with_hash, encode_with_hash, CodecError, Decoder,
     Section,
 };
-pub use store::{StoreStats, TraceStore};
+pub use fault::{FaultFile, FaultPlan, StoreIo};
+pub use store::{StoreStats, TraceStore, LOCK_SUFFIX, QUARANTINE_DIR};
 pub use stream::{StreamError, StreamStats, StreamingEncoder, StreamingTrace};
 pub use workload::{fnv1a64, fnv1a64_update, SynthPattern, SynthSpec, WorkloadId, FNV1A64_SEED};

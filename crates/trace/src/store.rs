@@ -35,19 +35,59 @@
 //! environment variable via [`TraceStore::cache_cap_from_env`]) evicts
 //! oldest-mtime `.wmtr` files after each save, logging each eviction to
 //! stderr.
+//!
+//! ## Crash safety and self-healing
+//!
+//! The cache dir survives hostile histories. Every file write is atomic
+//! (a process-unique temp file, fsync, then rename — see
+//! [`StoreIo::write_atomic`]), so a crash mid-save never leaves a torn
+//! `.wmtr` behind, only an orphaned `*.tmp` that the next store over the
+//! dir sweeps away. A file that is nonetheless unreadable or fails
+//! decode — torn by an older writer, bit-flipped by the disk — is moved
+//! into [`QUARANTINE_DIR`] and transparently re-recorded; the
+//! `quarantined`/`recovered` statistics count those events and
+//! `io_retries` counts transient errors absorbed by bounded retry. An
+//! advisory `<file>.lock` (with dead-writer takeover) serializes two
+//! *processes* racing to record the same [`WorkloadId`], mirroring what
+//! the per-key slot mutex does for threads.
 
 use std::collections::HashMap;
-use std::io;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 use waymem_isa::RecordedTrace;
 
 use crate::codec;
+use crate::fault::{self, StoreIo};
 use crate::stream::{self, StreamError, StreamingTrace};
 use crate::workload::WorkloadId;
+
+/// Subdirectory of the cache dir that corrupt or unreadable `.wmtr`
+/// files are moved into (instead of being replayed or deleted), keeping
+/// the evidence around for a post-mortem while the store re-records.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Suffix of the advisory per-workload lock files that serialize
+/// cross-process recording (`<workload file>.lock`, beside the file in
+/// the cache dir).
+pub const LOCK_SUFFIX: &str = ".lock";
+
+/// A lock file this old whose writer pid cannot be confirmed alive is
+/// considered abandoned and taken over.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(30);
+
+/// How long an acquirer waits (20 ms per attempt) on a live holder
+/// before proceeding unlocked — the lock is advisory, and atomic writes
+/// keep even unserialized racers safe.
+const LOCK_WAIT_ATTEMPTS: u32 = 50;
+
+/// An in-flight temp file this old whose writer pid cannot be confirmed
+/// alive is swept as an orphan.
+const ORPHAN_STALE_AFTER: Duration = Duration::from_secs(60);
 
 /// A snapshot of a store's accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -81,6 +121,15 @@ pub struct StoreStats {
     pub files_evicted: u64,
     /// Total bytes reclaimed by the size-cap eviction sweep.
     pub bytes_evicted: u64,
+    /// Corrupt or unreadable cache files moved into
+    /// [`QUARANTINE_DIR`] instead of being replayed.
+    pub quarantined: u64,
+    /// Lookups that re-recorded a workload right after quarantining its
+    /// bad cache file — quarantines that healed in the same run.
+    pub recovered: u64,
+    /// Transient I/O errors (`Interrupted`/`WouldBlock`) absorbed by the
+    /// store's bounded retry loop instead of failing an operation.
+    pub io_retries: u64,
 }
 
 impl StoreStats {
@@ -122,6 +171,8 @@ struct Counters {
     files_loaded: AtomicU64,
     files_evicted: AtomicU64,
     bytes_evicted: AtomicU64,
+    quarantined: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl Counters {
@@ -148,6 +199,10 @@ impl Counters {
             files_loaded: self.files_loaded.load(Ordering::Relaxed),
             files_evicted: self.files_evicted.load(Ordering::Relaxed),
             bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            // Lives on the I/O seam, not here; `TraceStore::stats` fills it.
+            io_retries: 0,
         }
     }
 }
@@ -163,8 +218,14 @@ enum DiskLoad {
     Hit(Cached),
     /// A decodable file exists but its source hash is outdated.
     Stale,
-    /// No file, or an unreadable/corrupt one (plain miss).
-    Absent,
+    /// No usable file: none at all (`quarantined == false`), or a
+    /// corrupt/unreadable one the store just moved aside
+    /// (`quarantined == true` — the caller counts a `recovered` event
+    /// once the re-record succeeds).
+    Absent {
+        /// Whether this miss quarantined a bad file on the way.
+        quarantined: bool,
+    },
 }
 
 /// One key's slot. The per-key mutex serializes *production* of that key
@@ -182,6 +243,8 @@ pub struct TraceStore {
     cache_dir: Option<PathBuf>,
     max_cache_bytes: Option<u64>,
     counters: Counters,
+    io: StoreIo,
+    swept: AtomicBool,
 }
 
 impl TraceStore {
@@ -235,11 +298,29 @@ impl TraceStore {
     /// explicitly instead — this reads global process state.
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var_os("WAYMEM_TRACE_CACHE") {
+        let store = match std::env::var_os("WAYMEM_TRACE_CACHE") {
             Some(dir) => TraceStore::with_cache_dir(PathBuf::from(dir))
                 .with_cache_limit(Self::cache_cap_from_env()),
             None => TraceStore::new(),
-        }
+        };
+        store.with_io(StoreIo::from_env())
+    }
+
+    /// Replaces the store's I/O seam: chaos tests attach a fault plan
+    /// (`store.with_io(StoreIo::with_plan(plan))`), production code
+    /// keeps the default passthrough, and [`from_env`](Self::from_env)
+    /// arms it from `WAYMEM_FAULT_PLAN` automatically.
+    #[must_use]
+    pub fn with_io(mut self, io: StoreIo) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// The store's I/O seam — shared (faults, retry counter and all) by
+    /// every streaming handle the store opens.
+    #[must_use]
+    pub fn io(&self) -> &StoreIo {
+        &self.io
     }
 
     /// The persistence directory, if one was configured.
@@ -277,7 +358,9 @@ impl TraceStore {
     /// A snapshot of the store's statistics.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
-        self.counters.snapshot()
+        let mut stats = self.counters.snapshot();
+        stats.io_retries = self.io.retries();
+        stats
     }
 
     fn slot(&self, key: WorkloadId) -> Slot {
@@ -298,38 +381,136 @@ impl TraceStore {
         expected == 0 || found == expected
     }
 
-    /// Tries to serve `key` from the cache dir. I/O and decode failures
-    /// are plain misses — a corrupt cache file must never break a run —
-    /// and a decodable file whose source hash disagrees with
-    /// `expected_hash` is a [`DiskLoad::Stale`] miss. Staleness is
+    /// Tries to serve `key` from the cache dir. A missing file is a
+    /// plain miss; an unreadable or undecodable one is quarantined (a
+    /// corrupt cache file must never break a run, and must not shadow
+    /// the re-record either); a decodable file whose source hash
+    /// disagrees with `expected_hash` is a [`DiskLoad::Stale`] miss
+    /// (left in place — the re-record overwrites it). Staleness is
     /// *reported*, not counted here: the caller folds it into the
     /// per-lookup accounting (a lookup that rejects both a stale preload
     /// and its stale backing file is one stale event, not two).
     fn load_from_disk(&self, key: WorkloadId, expected_hash: u64) -> DiskLoad {
-        let Some(path) = self.file_path(key) else { return DiskLoad::Absent };
-        let Ok(bytes) = std::fs::read(path) else { return DiskLoad::Absent };
-        let Ok(decoder) = codec::Decoder::new(&bytes) else { return DiskLoad::Absent };
+        self.sweep_orphans();
+        let Some(path) = self.file_path(key) else {
+            return DiskLoad::Absent { quarantined: false };
+        };
+        let bytes = match self.io.read_to_vec(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return DiskLoad::Absent { quarantined: false };
+            }
+            Err(_) => {
+                self.quarantine(&path);
+                return DiskLoad::Absent { quarantined: true };
+            }
+        };
+        let decoder = match codec::Decoder::new(&bytes) {
+            Ok(decoder) => decoder,
+            Err(_) => {
+                self.quarantine(&path);
+                return DiskLoad::Absent { quarantined: true };
+            }
+        };
         if !Self::hash_current(expected_hash, decoder.source_hash()) {
             return DiskLoad::Stale;
         }
-        let Ok(trace) = decoder.decode() else { return DiskLoad::Absent };
+        let Ok(trace) = decoder.decode() else {
+            self.quarantine(&path);
+            return DiskLoad::Absent { quarantined: true };
+        };
         Counters::bump(&self.counters.files_loaded);
         self.counters.account_trace(&trace, bytes.len());
         DiskLoad::Hit((decoder.source_hash(), Arc::new(trace)))
     }
 
     /// Best-effort persistence: encoding feeds the compression stats
-    /// even when the write itself fails or no dir is configured. A
-    /// successful write triggers the size-cap sweep.
+    /// even when the write itself fails or no dir is configured. The
+    /// write is atomic (temp + fsync + rename), so racers and crashes
+    /// never observe a torn file. A successful write triggers the
+    /// size-cap sweep.
     fn save_to_disk(&self, key: WorkloadId, source_hash: u64, trace: &RecordedTrace) {
         let bytes = codec::encode_with_hash(trace, source_hash);
         self.counters.account_trace(trace, bytes.len());
         let Some(path) = self.file_path(key) else { return };
         let Some(dir) = self.cache_dir.as_ref() else { return };
-        if std::fs::create_dir_all(dir).is_ok() && std::fs::write(&path, &bytes).is_ok() {
+        self.sweep_orphans();
+        if fs::create_dir_all(dir).is_ok() && self.io.write_atomic(&path, &bytes).is_ok() {
             Counters::bump(&self.counters.files_saved);
             self.enforce_cache_cap(&path);
         }
+    }
+
+    /// Moves a bad cache file into [`QUARANTINE_DIR`] (falling back to
+    /// deletion if the move itself fails) so it stops shadowing the
+    /// re-record, and counts the event.
+    fn quarantine(&self, path: &Path) {
+        let moved = path.parent().and_then(|dir| {
+            let qdir = dir.join(QUARANTINE_DIR);
+            fs::create_dir_all(&qdir).ok()?;
+            fs::rename(path, qdir.join(path.file_name()?)).ok()
+        });
+        if moved.is_none() {
+            let _ = fs::remove_file(path);
+        }
+        Counters::bump(&self.counters.quarantined);
+        eprintln!("waymem-trace: quarantined unreadable cache file {}", path.display());
+    }
+
+    /// One hygiene pass per store over the cache dir: in-flight `*.tmp`
+    /// files whose writer died (crashed mid-save) are removed so they
+    /// never accumulate. Temps belonging to live writers — this process
+    /// included — are left alone; when liveness cannot be decided (no
+    /// `/proc`), only temps older than [`ORPHAN_STALE_AFTER`] go.
+    fn sweep_orphans(&self) {
+        if self.swept.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let Some(dir) = self.cache_dir.as_ref() else { return };
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if !name.ends_with(fault::TEMP_SUFFIX) {
+                continue;
+            }
+            let orphaned = match fault::temp_owner_pid(name) {
+                Some(pid) => process_is_dead(pid).unwrap_or_else(|| entry_is_old(&entry)),
+                None => entry_is_old(&entry),
+            };
+            if orphaned && fs::remove_file(&path).is_ok() {
+                eprintln!("waymem-trace: swept orphaned temp {}", path.display());
+            }
+        }
+    }
+
+    /// Acquires the advisory cross-process record lock for `path`
+    /// (creating the cache dir if needed). Waits out a live holder for a
+    /// bounded time, takes over a dead or stale one, and returns `None`
+    /// — proceed unlocked — rather than ever deadlocking: the lock only
+    /// prevents duplicated recording work, atomic writes already keep
+    /// unserialized racers correct.
+    fn lock_record(&self, path: &Path) -> Option<RecordLock> {
+        let dir = self.cache_dir.as_ref()?;
+        fs::create_dir_all(dir).ok()?;
+        let lock = lock_path(path);
+        for _ in 0..LOCK_WAIT_ATTEMPTS {
+            match OpenOptions::new().write(true).create_new(true).open(&lock) {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return Some(RecordLock { path: lock });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if lock_is_stale(&lock) {
+                        let _ = fs::remove_file(&lock);
+                    } else {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+        None
     }
 
     /// Evicts oldest-mtime `.wmtr` files until the cache dir fits the
@@ -341,7 +522,7 @@ impl TraceStore {
     fn enforce_cache_cap(&self, just_written: &Path) {
         let Some(cap) = self.max_cache_bytes else { return };
         let Some(dir) = self.cache_dir.as_ref() else { return };
-        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        let Ok(entries) = fs::read_dir(dir) else { return };
         let mut files: Vec<(SystemTime, u64, PathBuf)> = entries
             .flatten()
             .filter(|e| e.path().extension().is_some_and(|x| x == "wmtr"))
@@ -363,14 +544,27 @@ impl TraceStore {
             if path == just_written {
                 continue;
             }
-            if std::fs::remove_file(&path).is_ok() {
-                total = total.saturating_sub(len);
-                Counters::bump(&self.counters.files_evicted);
-                self.counters.bytes_evicted.fetch_add(len, Ordering::Relaxed);
-                eprintln!(
-                    "waymem-trace: cache over {cap} B cap, evicted {} ({len} B)",
-                    path.display()
-                );
+            if lock_path(&path).exists() {
+                // A live writer holds this key: deleting beneath it
+                // risks churning the file it just paid to record.
+                continue;
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    total = total.saturating_sub(len);
+                    Counters::bump(&self.counters.files_evicted);
+                    self.counters.bytes_evicted.fetch_add(len, Ordering::Relaxed);
+                    eprintln!(
+                        "waymem-trace: cache over {cap} B cap, evicted {} ({len} B)",
+                        path.display()
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // A racing process (eviction or quarantine) already
+                    // removed it: the bytes are reclaimed either way.
+                    total = total.saturating_sub(len);
+                }
+                Err(_) => {}
             }
         }
     }
@@ -412,6 +606,7 @@ impl TraceStore {
             was_stale = true;
             *guard = None;
         }
+        let mut needs_recovery = false;
         match self.load_from_disk(key, source_hash) {
             DiskLoad::Hit((hash, trace)) => {
                 Counters::bump(&self.counters.disk_hits);
@@ -419,21 +614,36 @@ impl TraceStore {
                 return Ok(trace);
             }
             DiskLoad::Stale => was_stale = true,
-            DiskLoad::Absent => {}
+            DiskLoad::Absent { quarantined } => needs_recovery = quarantined,
         }
         if was_stale {
             // One stale event per lookup, even when both the preloaded
             // copy and its backing file were rejected.
             Counters::bump(&self.counters.stale);
         }
+        // Serialize cross-process recording of this key; a racer that
+        // waited here usually finds the winner's file on the re-check
+        // and skips its own production entirely.
+        let lock = self.file_path(key).and_then(|path| self.lock_record(&path));
+        if lock.is_some() {
+            if let DiskLoad::Hit((hash, trace)) = self.load_from_disk(key, source_hash) {
+                Counters::bump(&self.counters.disk_hits);
+                *guard = Some((hash, Arc::clone(&trace)));
+                return Ok(trace);
+            }
+        }
         let trace = record()?;
         Counters::bump(&self.counters.records);
+        if needs_recovery {
+            Counters::bump(&self.counters.recovered);
+        }
         let trace = Arc::new(trace);
         *guard = Some((source_hash, Arc::clone(&trace)));
         // Account + persist outside the per-key lock: waiters queued on
         // this key proceed with the Arc immediately; the encode pass
         // only feeds the compression stats and the best-effort cache
-        // file, so nothing downstream observes it.
+        // file, so nothing downstream observes it. The record lock stays
+        // held across the save (it drops at the end of this scope).
         drop(guard);
         self.save_to_disk(key, source_hash, &trace);
         Ok(trace)
@@ -490,6 +700,7 @@ impl TraceStore {
         let guard = slot.lock().expect("trace slot poisoned");
         Counters::bump(&self.counters.lookups);
         let mut was_stale = false;
+        let mut needs_recovery = false;
 
         let cached = guard
             .as_ref()
@@ -497,54 +708,87 @@ impl TraceStore {
             .map(|(h, t)| (*h, Arc::clone(t)));
 
         if let Some(path) = self.file_path(key) {
+            self.sweep_orphans();
             // Warm file: validate and stream straight from it. A corrupt
-            // or unreadable file is a plain miss (same policy as
+            // or unreadable file is quarantined (same policy as
             // `load_from_disk`); a hash mismatch is a stale miss.
             if path.exists() {
-                match StreamingTrace::open(&path) {
+                match StreamingTrace::open_with(&path, self.io.clone()) {
                     Ok(st) if Self::hash_current(source_hash, st.source_hash()) => {
                         Counters::bump(&self.counters.disk_hits);
                         Counters::bump(&self.counters.stream_opens);
                         return Ok(st);
                     }
                     Ok(_) => was_stale = true,
-                    Err(_) => {}
+                    Err(StreamError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(_) => {
+                        self.quarantine(&path);
+                        needs_recovery = true;
+                    }
                 }
             }
             if let Some((hash, trace)) = cached {
                 // The events are in memory anyway: spill them once and
                 // stream from the file — still no production.
-                stream::write_encoded(&trace, hash, &path)
+                stream::write_encoded_with(&trace, hash, &path, &self.io)
                     .map_err(|e| E::from(StreamError::Io(e)))?;
                 Counters::bump(&self.counters.hits);
                 Counters::bump(&self.counters.stream_opens);
                 Counters::bump(&self.counters.files_saved);
+                if needs_recovery {
+                    Counters::bump(&self.counters.recovered);
+                }
                 drop(guard);
                 self.enforce_cache_cap(&path);
-                return StreamingTrace::open(&path).map_err(E::from);
+                return StreamingTrace::open_with(&path, self.io.clone()).map_err(E::from);
             }
             if was_stale {
                 Counters::bump(&self.counters.stale);
             }
+            // Serialize cross-process production; a racer that waited
+            // here usually finds the winner's file on the re-check.
+            let lock = self.lock_record(&path);
+            if lock.is_some() {
+                if let Ok(st) = StreamingTrace::open_with(&path, self.io.clone()) {
+                    if Self::hash_current(source_hash, st.source_hash()) {
+                        Counters::bump(&self.counters.disk_hits);
+                        Counters::bump(&self.counters.stream_opens);
+                        return Ok(st);
+                    }
+                }
+            }
             produce(&path)?;
             Counters::bump(&self.counters.records);
             Counters::bump(&self.counters.files_saved);
+            if needs_recovery {
+                Counters::bump(&self.counters.recovered);
+            }
             drop(guard);
             self.enforce_cache_cap(&path);
-            return StreamingTrace::open(&path).map_err(E::from);
+            return match StreamingTrace::open_with(&path, self.io.clone()) {
+                Ok(st) => Ok(st),
+                Err(e) => {
+                    // The freshly produced file failed validation (torn
+                    // or fault-corrupted write): move it aside so the
+                    // next lookup re-produces instead of replaying it.
+                    self.quarantine(&path);
+                    Err(E::from(e))
+                }
+            };
         }
 
         // Memory-only store: the file is scratch, cleaned up on drop.
         let path = Self::scratch_stream_path(key);
         if let Some((hash, trace)) = cached {
-            stream::write_encoded(&trace, hash, &path).map_err(|e| E::from(StreamError::Io(e)))?;
+            stream::write_encoded_with(&trace, hash, &path, &self.io)
+                .map_err(|e| E::from(StreamError::Io(e)))?;
             Counters::bump(&self.counters.hits);
             Counters::bump(&self.counters.stream_opens);
         } else {
             produce(&path)?;
             Counters::bump(&self.counters.records);
         }
-        Ok(StreamingTrace::open(&path).map_err(E::from)?.delete_on_drop())
+        Ok(StreamingTrace::open_with(&path, self.io.clone()).map_err(E::from)?.delete_on_drop())
     }
 
     /// The trace for `key` if it is already in memory. Does not consult
@@ -578,7 +822,8 @@ impl TraceStore {
         let dir = self.cache_dir.as_ref().ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "trace store has no cache dir")
         })?;
-        std::fs::create_dir_all(dir)?;
+        fs::create_dir_all(dir)?;
+        self.sweep_orphans();
         let entries: Vec<(WorkloadId, Cached)> = {
             let slots = self.slots.lock().expect("trace store poisoned");
             slots
@@ -595,7 +840,7 @@ impl TraceStore {
         let mut last_path = None;
         for (key, (hash, trace)) in entries {
             let path = dir.join(key.file_name());
-            std::fs::write(&path, codec::encode_with_hash(&trace, hash))?;
+            self.io.write_atomic(&path, &codec::encode_with_hash(&trace, hash))?;
             written += 1;
             Counters::bump(&self.counters.files_saved);
             last_path = Some(path);
@@ -643,6 +888,67 @@ impl TraceStore {
             }
         }
         Ok(loaded)
+    }
+}
+
+/// The advisory lock file guarding cross-process recording of `path`.
+fn lock_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(LOCK_SUFFIX);
+    PathBuf::from(os)
+}
+
+/// `Some(dead?)` when pid liveness is decidable (trivially for our own
+/// pid, via `/proc` elsewhere on Linux), `None` when it is not and the
+/// caller should fall back to an age heuristic.
+fn process_is_dead(pid: u32) -> Option<bool> {
+    if pid == std::process::id() {
+        return Some(false);
+    }
+    let proc_dir = Path::new("/proc");
+    if proc_dir.is_dir() {
+        Some(!proc_dir.join(pid.to_string()).exists())
+    } else {
+        None
+    }
+}
+
+/// Whether a directory entry's mtime is older than the orphan threshold
+/// (unknowable mtimes count as fresh — never reap what we cannot date).
+fn entry_is_old(entry: &fs::DirEntry) -> bool {
+    entry
+        .metadata()
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|m| m.elapsed().ok())
+        .is_some_and(|age| age > ORPHAN_STALE_AFTER)
+}
+
+/// Whether an existing lock file is abandoned: its recorded writer pid
+/// is provably dead, or liveness is undecidable and the file has
+/// outlived [`LOCK_STALE_AFTER`].
+fn lock_is_stale(lock: &Path) -> bool {
+    let pid = fs::read_to_string(lock).ok().and_then(|s| s.trim().parse::<u32>().ok());
+    match pid.and_then(process_is_dead) {
+        Some(dead) => dead,
+        None => fs::metadata(lock)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|m| m.elapsed().ok())
+            .is_some_and(|age| age > LOCK_STALE_AFTER),
+    }
+}
+
+/// RAII guard for the advisory record lock: dropping it releases (i.e.
+/// removes) the lock file.
+#[derive(Debug)]
+struct RecordLock {
+    path: PathBuf,
+}
+
+impl Drop for RecordLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
     }
 }
 
@@ -1007,6 +1313,134 @@ mod tests {
         assert_eq!(store.stats().records, 1);
         drop(st);
         assert!(!scratch.exists());
+    }
+
+    #[test]
+    fn corrupt_warm_file_is_quarantined_and_re_recorded() {
+        let tmp = TempDir::new("quarantine");
+        let cold = TraceStore::with_cache_dir(&tmp.0);
+        cold.get_or_record(dct(1), 0xfeed, || Ok::<_, ()>(tiny_trace(3))).expect("records");
+        let path = tmp.0.join(dct(1).file_name());
+        std::fs::write(&path, b"WMTRgarbage, not a real trace").expect("corrupts");
+
+        let healed = TraceStore::with_cache_dir(&tmp.0);
+        let t = healed
+            .get_or_record(dct(1), 0xfeed, || Ok::<_, ()>(tiny_trace(3)))
+            .expect("re-records through the corruption");
+        assert_eq!(t.cycles, 3);
+        let s = healed.stats();
+        assert_eq!((s.quarantined, s.records, s.recovered, s.disk_hits), (1, 1, 1, 0), "{s:?}");
+        assert!(
+            tmp.0.join(QUARANTINE_DIR).join(dct(1).file_name()).exists(),
+            "bad bytes preserved in quarantine"
+        );
+
+        // The re-record replaced the file: a third store disk-hits.
+        let warm = TraceStore::with_cache_dir(&tmp.0);
+        let t = warm
+            .get_or_record(dct(1), 0xfeed, || Err::<RecordedTrace, _>("must not record"))
+            .expect("healed file serves");
+        assert_eq!(t.cycles, 3);
+        assert_eq!(warm.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn open_stream_quarantines_corrupt_warm_file_and_recovers() {
+        let tmp = TempDir::new("qstream");
+        let store = TraceStore::with_cache_dir(&tmp.0);
+        store
+            .open_stream(dct(1), 0xfeed, |p| produce_file(&tiny_trace(4), 0xfeed, p))
+            .expect("produces");
+        let path = tmp.0.join(dct(1).file_name());
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // break the checksum
+        std::fs::write(&path, &bytes).expect("corrupts");
+
+        let healed = TraceStore::with_cache_dir(&tmp.0);
+        let st = healed
+            .open_stream(dct(1), 0xfeed, |p| produce_file(&tiny_trace(4), 0xfeed, p))
+            .expect("re-produces through the corruption");
+        assert_eq!(st.decode().expect("decodes"), tiny_trace(4));
+        let s = healed.stats();
+        assert_eq!((s.quarantined, s.records, s.recovered), (1, 1, 1), "{s:?}");
+    }
+
+    #[test]
+    fn orphaned_temps_are_swept_for_dead_writers_only() {
+        if !Path::new("/proc").is_dir() {
+            return; // pid liveness undecidable: the sweep is age-based there
+        }
+        let tmp = TempDir::new("orphans");
+        std::fs::create_dir_all(&tmp.0).expect("mkdir");
+        // pid 4294000000 is far beyond any real pid_max, i.e. dead.
+        let dead = tmp.0.join("x.wmtr.p4294000000-0.tmp");
+        let live = tmp.0.join(format!("y.wmtr.p{}-0.tmp", std::process::id()));
+        std::fs::write(&dead, b"junk").expect("writes");
+        std::fs::write(&live, b"junk").expect("writes");
+        let store = TraceStore::with_cache_dir(&tmp.0);
+        store.get_or_record(dct(1), 0, || Ok::<_, ()>(tiny_trace(1))).expect("records");
+        assert!(!dead.exists(), "dead writer's temp must be reclaimed");
+        assert!(live.exists(), "live writer's temp must be left alone");
+    }
+
+    #[test]
+    fn eviction_skips_lock_held_files() {
+        let tmp = TempDir::new("evictlock");
+        let one_file = codec::encode_with_hash(&tiny_trace(0), 1).len() as u64;
+        let store =
+            TraceStore::with_cache_dir(&tmp.0).with_cache_limit(Some(one_file + one_file / 2));
+        store.get_or_record(dct(1), 0, || Ok::<_, ()>(tiny_trace(1))).expect("records");
+        // Another process "holds" the oldest file's record lock.
+        let held = tmp.0.join(dct(1).file_name());
+        std::fs::write(lock_path(&held), std::process::id().to_string()).expect("locks");
+        for scale in 2..=3 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            store
+                .get_or_record(dct(scale), 0, || Ok::<_, ()>(tiny_trace(u64::from(scale))))
+                .expect("records");
+        }
+        assert!(held.exists(), "lock-held file must survive eviction");
+        std::fs::remove_file(lock_path(&held)).expect("unlocks");
+    }
+
+    #[test]
+    fn stale_record_lock_is_taken_over_and_released() {
+        if !Path::new("/proc").is_dir() {
+            return; // takeover falls back to a long mtime heuristic there
+        }
+        let tmp = TempDir::new("stalelock");
+        std::fs::create_dir_all(&tmp.0).expect("mkdir");
+        let store = TraceStore::with_cache_dir(&tmp.0);
+        let path = tmp.0.join(dct(1).file_name());
+        // A crashed writer's leftover: dead pid, so acquisition takes it
+        // over instead of waiting out the backoff.
+        std::fs::write(lock_path(&path), "4294000000").expect("plants stale lock");
+        let t = store.get_or_record(dct(1), 0, || Ok::<_, ()>(tiny_trace(8))).expect("records");
+        assert_eq!(t.cycles, 8);
+        assert!(!lock_path(&path).exists(), "lock released after the record");
+        assert!(path.exists(), "record persisted normally");
+    }
+
+    #[test]
+    fn armed_store_stays_correct_and_never_poisons_the_dir() {
+        let tmp = TempDir::new("armedstore");
+        let noisy = TraceStore::with_cache_dir(&tmp.0)
+            .with_io(crate::fault::StoreIo::with_plan(crate::fault::FaultPlan::new(7)));
+        let t = noisy
+            .get_or_record(dct(1), 0x11, || Ok::<_, ()>(tiny_trace(5)))
+            .expect("records through injected faults");
+        assert_eq!(t.cycles, 5);
+        assert_eq!(noisy.stats().io_retries, noisy.io().retries());
+
+        // A fault-free store over the same dir must serve the workload —
+        // from the file, or by quarantining a fault-corrupted write and
+        // re-recording — never fail.
+        let clean = TraceStore::with_cache_dir(&tmp.0);
+        let t = clean
+            .get_or_record(dct(1), 0x11, || Ok::<_, ()>(tiny_trace(5)))
+            .expect("dir not poisoned");
+        assert_eq!(t.cycles, 5);
     }
 
     #[test]

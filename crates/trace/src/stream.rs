@@ -33,7 +33,7 @@
 //! pin batch-boundary independence.
 
 use std::fmt;
-use std::fs::{self, File};
+use std::fs;
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
@@ -43,6 +43,7 @@ use crate::codec::{
     self, CodecError, Section, FNV1A32_SEED, FORMAT_VERSION, HEADER_LEN, MAGIC, MAX_EVENT_WIRE,
     REPLAY_CHUNK, TRAILER_LEN,
 };
+use crate::fault::{read_full, FaultFile, StoreIo};
 
 /// Scratch-buffer size for both the encoder's section spools and the
 /// reader's refill window. Big enough that syscall overhead vanishes,
@@ -125,7 +126,7 @@ impl Drop for TempGuard {
 #[derive(Debug)]
 struct SectionSpool {
     path: PathBuf,
-    file: BufWriter<File>,
+    file: BufWriter<FaultFile>,
     buf: Vec<u8>,
     bytes: u64,
     count: u64,
@@ -133,8 +134,8 @@ struct SectionSpool {
 }
 
 impl SectionSpool {
-    fn create(path: PathBuf) -> io::Result<Self> {
-        let file = BufWriter::new(File::create(&path)?);
+    fn create(path: PathBuf, io: &StoreIo) -> io::Result<Self> {
+        let file = BufWriter::new(io.create(&path)?);
         Ok(SectionSpool {
             path,
             file,
@@ -188,6 +189,7 @@ pub struct StreamingEncoder {
     data: SectionSpool,
     temps: TempGuard,
     error: Option<io::Error>,
+    io: StoreIo,
 }
 
 impl StreamingEncoder {
@@ -199,6 +201,17 @@ impl StreamingEncoder {
     ///
     /// Propagates failures creating the parent directory or temp files.
     pub fn create(path: &Path) -> io::Result<Self> {
+        Self::create_with(path, StoreIo::passthrough())
+    }
+
+    /// [`create`](Self::create) with an explicit [`StoreIo`] seam —
+    /// how the store threads its fault plan and retry accounting through
+    /// an encode; production callers use `create`.
+    ///
+    /// # Errors
+    ///
+    /// As [`create`](Self::create).
+    pub fn create_with(path: &Path, io: StoreIo) -> io::Result<Self> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 fs::create_dir_all(parent)?;
@@ -214,10 +227,11 @@ impl StreamingEncoder {
         let temps = TempGuard(vec![fetch_path.clone(), data_path.clone()]);
         Ok(StreamingEncoder {
             out_path: path.to_path_buf(),
-            fetch: SectionSpool::create(fetch_path)?,
-            data: SectionSpool::create(data_path)?,
+            fetch: SectionSpool::create(fetch_path, &io)?,
+            data: SectionSpool::create(data_path, &io)?,
             temps,
             error: None,
+            io,
         })
     }
 
@@ -246,6 +260,12 @@ impl StreamingEncoder {
     /// [`codec::encode_with_hash`] on
     /// the materialized trace.
     ///
+    /// The finished file appears **atomically**: everything is assembled
+    /// in a process-unique `<path>.p<pid>-<n>.tmp` sibling, fsynced, and
+    /// renamed over the final name — a crash mid-finish leaves only temp
+    /// files (which the store's orphan sweep reclaims), never a torn
+    /// `.wmtr`.
+    ///
     /// # Errors
     ///
     /// The first I/O failure, whether stashed during event push or hit
@@ -257,6 +277,7 @@ impl StreamingEncoder {
             data,
             temps,
             error,
+            io,
         } = self;
         if let Some(err) = error {
             return Err(StreamError::Io(err));
@@ -276,14 +297,16 @@ impl StreamingEncoder {
         header.extend_from_slice(&source_hash.to_le_bytes());
         debug_assert_eq!(header.len(), HEADER_LEN);
 
-        let mut out = BufWriter::new(File::create(&out_path)?);
+        let final_tmp = StoreIo::temp_path(&out_path);
+        let final_guard = TempGuard(vec![final_tmp.clone()]);
+        let mut out = BufWriter::new(io.create(&final_tmp)?);
         out.write_all(&header)?;
         let mut checksum = codec::fnv1a32_update(FNV1A32_SEED, &header[MAGIC.len()..]);
         let mut splice = |path: &Path| -> io::Result<()> {
-            let mut src = File::open(path)?;
+            let mut src = io.open(path)?;
             let mut buf = vec![0u8; WINDOW_BYTES];
             loop {
-                let n = src.read(&mut buf)?;
+                let n = io.retry(|| src.read(&mut buf))?;
                 if n == 0 {
                     return Ok(());
                 }
@@ -295,6 +318,10 @@ impl StreamingEncoder {
         splice(&data_path)?;
         out.write_all(&checksum.to_le_bytes())?;
         out.flush()?;
+        out.get_ref().sync_all()?;
+        drop(out);
+        fs::rename(&final_tmp, &out_path)?;
+        drop(final_guard); // renamed away; nothing left to remove
         drop(temps); // removes the section spools
 
         let bytes = (HEADER_LEN as u64) + fetch_len + data_len + (TRAILER_LEN as u64);
@@ -323,19 +350,35 @@ impl TraceSink for StreamingEncoder {
 /// Encodes an already-materialized trace to `path` in one pass — the
 /// spill bridge from the `Arc<RecordedTrace>` world into the streaming
 /// one (e.g. a store serving a streaming open from its in-memory cache).
-/// Returns the number of bytes written.
+/// The file appears atomically (temp + fsync + rename). Returns the
+/// number of bytes written.
 ///
 /// # Errors
 ///
 /// Propagates file-creation and write failures.
 pub fn write_encoded(trace: &RecordedTrace, source_hash: u64, path: &Path) -> io::Result<u64> {
+    write_encoded_with(trace, source_hash, path, &StoreIo::passthrough())
+}
+
+/// [`write_encoded`] through an explicit [`StoreIo`] seam (fault plan +
+/// retry accounting); production callers use [`write_encoded`].
+///
+/// # Errors
+///
+/// As [`write_encoded`].
+pub fn write_encoded_with(
+    trace: &RecordedTrace,
+    source_hash: u64,
+    path: &Path,
+    io: &StoreIo,
+) -> io::Result<u64> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
         }
     }
     let bytes = codec::encode_with_hash(trace, source_hash);
-    fs::write(path, &bytes)?;
+    io.write_atomic(path, &bytes)?;
     Ok(bytes.len() as u64)
 }
 
@@ -356,6 +399,7 @@ pub struct StreamingTrace {
     data_len: u64,
     batch: usize,
     delete_on_drop: bool,
+    io: StoreIo,
 }
 
 impl StreamingTrace {
@@ -369,14 +413,27 @@ impl StreamingTrace {
     /// [`StreamError::Io`] if the file cannot be read,
     /// [`StreamError::Codec`] if its bytes are malformed.
     pub fn open(path: &Path) -> Result<Self, StreamError> {
-        let mut file = File::open(path)?;
-        let file_len = file.metadata()?.len();
+        Self::open_with(path, StoreIo::passthrough())
+    }
+
+    /// [`open`](Self::open) with an explicit [`StoreIo`] seam: every
+    /// read of the validation pass *and of later replays through this
+    /// handle* goes through it, with transient errors retried (and
+    /// counted). Production callers use `open`.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with(path: &Path, io: StoreIo) -> Result<Self, StreamError> {
+        let mut file = io.open(path)?;
+        let file_len = io.retry(|| file.seek(SeekFrom::End(0)))?;
+        file.seek(SeekFrom::Start(0))?;
         if file_len < (codec::HEADER_LEN_V1 + TRAILER_LEN) as u64 {
             return Err(CodecError::Truncated.into());
         }
         let mut header_bytes = [0u8; HEADER_LEN];
         let header_read = usize::try_from(file_len.min(HEADER_LEN as u64)).expect("bounded");
-        file.read_exact(&mut header_bytes[..header_read])?;
+        read_full(&mut file, &mut header_bytes[..header_read], &io)?;
         let h = codec::parse_header(&header_bytes[..header_read])?;
         if file_len < (h.header_len + TRAILER_LEN) as u64 {
             return Err(CodecError::Truncated.into());
@@ -400,14 +457,14 @@ impl StreamingTrace {
         let mut checksum = FNV1A32_SEED;
         let mut buf = vec![0u8; WINDOW_BYTES];
         loop {
-            let n = covered.read(&mut buf)?;
+            let n = io.retry(|| covered.read(&mut buf))?;
             if n == 0 {
                 break;
             }
             checksum = codec::fnv1a32_update(checksum, &buf[..n]);
         }
         let mut trailer = [0u8; TRAILER_LEN];
-        file.read_exact(&mut trailer)?;
+        read_full(&mut file, &mut trailer, &io)?;
         let stored = u32::from_le_bytes(trailer);
         if stored != checksum {
             return Err(CodecError::BadChecksum { stored, computed: checksum }.into());
@@ -425,6 +482,7 @@ impl StreamingTrace {
             data_len: h.data_len,
             batch: REPLAY_CHUNK,
             delete_on_drop: false,
+            io,
         })
     }
 
@@ -517,7 +575,7 @@ impl StreamingTrace {
             Section::Fetch => (self.fetch_offset, self.fetch_len, self.fetch_count),
             Section::Data => (self.fetch_offset + self.fetch_len, self.data_len, self.data_count),
         };
-        let mut file = File::open(&self.path)?;
+        let mut file = self.io.open(&self.path)?;
         file.seek(SeekFrom::Start(offset))?;
         let mut reader = file.take(len);
 
@@ -539,7 +597,7 @@ impl StreamingTrace {
             window.copy_within(start..valid, 0);
             valid -= start;
             while valid < window.len() && !exhausted {
-                let n = reader.read(&mut window[valid..])?;
+                let n = self.io.retry(|| reader.read(&mut window[valid..]))?;
                 if n == 0 {
                     exhausted = true;
                 } else {

@@ -1,0 +1,223 @@
+//! Chaos layer for the disk-backed trace store: under any seeded
+//! [`FaultPlan`] — short reads/writes, `EINTR`, out-of-space, byte
+//! corruption — every store operation must return either a structured
+//! `Err` or a bit-identical result, never panic, and never leave the
+//! cache directory in a state a fault-free store cannot recover from.
+//!
+//! The second half simulates a writer killed mid-record (a torn `.wmtr`
+//! plus an orphaned temp file from a dead pid) and proves the next store
+//! over the directory quarantines, sweeps and transparently re-records.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use waymem_isa::{FetchKind, RecordedTrace, RecordingSink, TraceEvent};
+use waymem_trace::fault::TEMP_SUFFIX;
+use waymem_trace::{
+    codec, FaultPlan, StoreIo, StreamError, TraceStore, WorkloadId, QUARANTINE_DIR,
+};
+
+/// A scratch cache directory under the system temp dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "waymem-chaos-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small but multi-window-exercising trace (distinct per `cycles` so
+/// staleness bugs cannot alias two cases).
+fn sample_trace(cycles: u64) -> RecordedTrace {
+    RecordedTrace {
+        fetch_events: (0..64)
+            .map(|k| TraceEvent::Fetch { pc: 4 * k, kind: FetchKind::Sequential })
+            .collect(),
+        data_events: (0..64)
+            .map(|k| TraceEvent::Load { base: 8 * k, disp: 4, addr: 8 * k + 4, size: 4 })
+            .collect(),
+        cycles,
+    }
+}
+
+/// A store over `dir` whose every disk touch goes through a fault plan
+/// seeded with `seed`.
+fn armed_store(dir: &TempDir, seed: u64) -> TraceStore {
+    TraceStore::with_cache_dir(&dir.0).with_io(StoreIo::with_plan(FaultPlan::new(seed)))
+}
+
+/// No `*.tmp` litter at the cache dir's top level: atomic writes either
+/// rename into place or clean up after themselves, even under faults.
+fn assert_no_temp_litter(dir: &TempDir) {
+    if let Ok(entries) = std::fs::read_dir(&dir.0) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            assert!(!name.ends_with(TEMP_SUFFIX), "temp file {name} left behind");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The chaos contract, per seeded plan: (1) an armed store always
+    /// serves the correct trace through `get_or_record` (disk faults are
+    /// absorbed — retried, quarantined or re-recorded — never surfaced);
+    /// (2) a second armed store over the same dir, exercising the disk
+    /// path, returns a bit-identical trace; (3) `open_stream` + replay
+    /// returns either a structured `Err` or exactly the encoded events;
+    /// (4) a fault-free store over the leftover directory always
+    /// succeeds — whatever the faults did, the dir is never poisoned.
+    #[test]
+    fn any_fault_plan_yields_err_or_identical_results_and_never_poisons(
+        seed in any::<u64>(),
+        hash in 1u64..=u64::MAX,
+    ) {
+        let dir = TempDir::new("plan");
+        let key = WorkloadId::External { hash };
+        let trace = sample_trace(hash % 1000);
+
+        // (1) Armed store, cold record: must serve the exact trace.
+        let store = armed_store(&dir, seed);
+        let got = store
+            .get_or_record(key, hash, || Ok::<_, StreamError>(trace.clone()))
+            .expect("get_or_record absorbs disk faults");
+        prop_assert_eq!(&*got, &trace);
+        drop(store);
+
+        // (2) Fresh armed store: the disk path (possibly a quarantine +
+        // re-record) must still come back bit-identical.
+        let store = armed_store(&dir, seed.wrapping_add(1));
+        let again = store
+            .get_or_record(key, hash, || Ok::<_, StreamError>(trace.clone()))
+            .expect("warm/self-healing lookup absorbs disk faults");
+        prop_assert_eq!(&*again, &trace);
+        drop(store);
+
+        // (3) Streaming open: structured Err or exactly the events.
+        let store = armed_store(&dir, seed.wrapping_add(2));
+        let encoded = codec::encode_with_hash(&trace, hash);
+        match store.open_stream::<StreamError>(key, hash, |path| {
+            std::fs::write(path, &encoded).map_err(StreamError::Io)
+        }) {
+            Ok(st) => {
+                let mut rec = RecordingSink::default();
+                match st.replay(&mut rec) {
+                    Ok(n) => {
+                        prop_assert_eq!(n as usize, trace.len());
+                        let mut expected = trace.fetch_events.clone();
+                        expected.extend_from_slice(&trace.data_events);
+                        prop_assert_eq!(&rec.events, &expected);
+                    }
+                    Err(e) => prop_assert!(!e.to_string().is_empty()),
+                }
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+        drop(store);
+
+        // (4) Fault-free store over the same dir: always recovers.
+        let clean = TraceStore::with_cache_dir(&dir.0);
+        let healed = clean
+            .get_or_record(key, hash, || Ok::<_, StreamError>(trace.clone()))
+            .expect("fault-free reopen succeeds");
+        prop_assert_eq!(&*healed, &trace);
+        assert_no_temp_litter(&dir);
+    }
+}
+
+/// A writer killed mid-record leaves a torn `.wmtr` and an orphaned
+/// temp file behind. The next store over the directory must sweep the
+/// orphan, quarantine the torn file, re-record transparently — and the
+/// store after *that* must disk-hit the healed copy.
+#[test]
+fn kill_mid_record_heals_with_exactly_one_quarantine_and_re_record() {
+    let dir = TempDir::new("kill");
+    let key = WorkloadId::External { hash: 0xDEAD };
+    let trace = sample_trace(9);
+
+    // Seed a valid cache file, then tear it: keep a prefix long enough
+    // to parse as a header but fail the checksum — the shape a SIGKILL
+    // between write and rename-fsync leaves on disk.
+    let full = codec::encode_with_hash(&trace, 0xDEAD);
+    std::fs::create_dir_all(&dir.0).expect("mkdir");
+    let wmtr = dir.0.join(key.file_name());
+    std::fs::write(&wmtr, &full[..full.len() - 10]).expect("write torn file");
+    // And the dead writer's half-finished temp (pid far above any real
+    // one, so /proc declares it dead).
+    let orphan = dir.0.join(format!("{}.p4294000000-0{TEMP_SUFFIX}", key.file_name()));
+    std::fs::write(&orphan, b"partial").expect("write orphan");
+
+    let store = TraceStore::with_cache_dir(&dir.0);
+    let mut recordings = 0;
+    let got = store
+        .get_or_record(key, 0xDEAD, || {
+            recordings += 1;
+            Ok::<_, StreamError>(trace.clone())
+        })
+        .expect("recovery lookup succeeds");
+    assert_eq!(&*got, &trace);
+    assert_eq!(recordings, 1, "exactly one re-record");
+    let stats = store.stats();
+    assert_eq!(
+        (stats.quarantined, stats.records, stats.recovered, stats.disk_hits),
+        (1, 1, 1, 0),
+        "exactly one quarantine + one recovery"
+    );
+    if std::path::Path::new("/proc/self").exists() {
+        assert!(!orphan.exists(), "dead writer's temp file must be swept");
+    }
+    let qdir = dir.0.join(QUARANTINE_DIR);
+    let quarantined = std::fs::read_dir(&qdir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(quarantined, 1, "torn file moved into {QUARANTINE_DIR}/");
+    drop(store);
+
+    // The healed file is a normal disk hit for the next process.
+    let next = TraceStore::with_cache_dir(&dir.0);
+    let warm = next
+        .get_or_record(key, 0xDEAD, || Ok::<_, StreamError>(sample_trace(999)))
+        .expect("healed file serves");
+    assert_eq!(&*warm, &trace);
+    let stats = next.stats();
+    assert_eq!((stats.disk_hits, stats.records, stats.quarantined), (1, 0, 0));
+}
+
+/// Faults counted on the I/O seam surface in the exported stats: an
+/// armed store that had to retry reports a nonzero `io_retries`, and a
+/// passthrough store reports zero.
+#[test]
+fn io_retries_surface_in_store_stats() {
+    let clean = TraceStore::new();
+    assert_eq!(clean.stats().io_retries, 0);
+
+    // Period 1 injects on every opportunity; driving a batch of keys
+    // through the save/load paths guarantees at least one transient gets
+    // dealt (a single save can die early to a non-transient fault).
+    let dir = TempDir::new("retries");
+    let store = TraceStore::with_cache_dir(&dir.0)
+        .with_io(StoreIo::with_plan(FaultPlan::new(3).with_period(1)));
+    let trace = sample_trace(1);
+    for hash in 1..=16u64 {
+        let _ = store.get_or_record(WorkloadId::External { hash }, hash, || {
+            Ok::<_, StreamError>(trace.clone())
+        });
+    }
+    assert!(
+        store.stats().io_retries > 0,
+        "period-1 plan must force at least one retry"
+    );
+}

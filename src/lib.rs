@@ -64,8 +64,8 @@ pub mod prelude {
     pub use waymem_hwmodel::Technology;
     pub use waymem_ingest::{parse_path, Ingested, LogFormat};
     pub use waymem_sim::{
-        DScheme, ExecPolicy, Experiment, IScheme, RunError, SimConfig, SimResult, Suite,
-        SuiteResult, WorkloadSpec,
+        catch_worker, DScheme, ExecPolicy, Experiment, IScheme, RunError, SimConfig, SimResult,
+        Suite, SuiteFailure, SuiteResult, WorkloadSpec,
     };
     // The deprecated free-function shims stay importable for code that
     // predates the builder.

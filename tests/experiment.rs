@@ -394,6 +394,67 @@ fn streaming_ingest_failures_are_structured_errors() {
 }
 
 #[test]
+fn suite_isolates_failures_per_workload() {
+    // One poisoned workload (a log path that does not exist) in the
+    // middle of the batch. The strict default keeps the historical
+    // fail-fast contract; with isolation on, every healthy workload
+    // still produces its result and the failure comes back structured.
+    let suite = || {
+        Suite::new()
+            .workload(Benchmark::Dct)
+            .workload(std::path::PathBuf::from("/nonexistent/waymem-poisoned.csv"))
+            .workload(Benchmark::Fft)
+            .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+    };
+
+    let strict = suite().run().expect_err("strict suite fails fast");
+    assert!(matches!(strict, RunError::Ingest { .. }), "{strict}");
+
+    for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+        let results = suite()
+            .policy(policy)
+            .isolate_failures(true)
+            .run()
+            .expect("isolated suite survives the poisoned workload");
+        assert_eq!(results.len(), 2, "both healthy workloads ran");
+        assert_eq!(results[0].workload, WorkloadId::kernel(Benchmark::Dct, 1));
+        assert_eq!(results[1].workload, WorkloadId::kernel(Benchmark::Fft, 1));
+        assert!(!results.is_complete());
+        assert_eq!(results.failures.len(), 1);
+        let failure = &results.failures[0];
+        assert_eq!(failure.index, 1);
+        assert!(matches!(failure.error, RunError::Ingest { .. }), "{}", failure.error);
+        assert!(failure.retryable, "ingest failures are retryable");
+        let report = results.failure_report().expect("failures reported");
+        assert!(report.contains("waymem-poisoned.csv"), "{report}");
+    }
+
+    // A fully healthy isolated suite reports completeness.
+    let healthy = Suite::new()
+        .workload(Benchmark::Dct)
+        .dschemes([DScheme::Original])
+        .isolate_failures(true)
+        .run()
+        .expect("healthy suite");
+    assert!(healthy.is_complete());
+    assert!(healthy.failure_report().is_none());
+}
+
+#[test]
+fn catch_worker_converts_panics_into_structured_errors() {
+    let err = catch_worker::<()>(|| panic!("boom in a worker")).expect_err("panic becomes Err");
+    match &err {
+        RunError::Worker { message } => assert!(message.contains("boom"), "{message}"),
+        other => panic!("expected Worker, got {other:?}"),
+    }
+    assert!(!err.is_retryable(), "panics are not retryable");
+
+    // Non-panicking results pass through untouched.
+    let ok = catch_worker(|| Ok::<_, RunError>(17)).expect("plain Ok");
+    assert_eq!(ok, 17);
+}
+
+#[test]
 fn suite_policies_are_bit_identical() {
     let (d, i) = schemes();
     let run = |policy| {
