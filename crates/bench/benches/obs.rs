@@ -1,0 +1,57 @@
+//! Criterion benchmarks pinning the cost of *disabled* instrumentation —
+//! the contract that lets the obs hooks live on hot paths:
+//!
+//! * `obs_disabled/counter_inc` — one relaxed atomic add through a
+//!   cached `counter!` handle;
+//! * `obs_disabled/span_enter_exit` — a `span!` guard created and
+//!   dropped with the tracer unarmed (one relaxed load, no allocation);
+//! * `obs_disabled/span_args_enter_exit` — same, with an args closure
+//!   that must NOT run while unarmed;
+//! * `obs_disabled/histogram_record` — one bucketed record (always-on:
+//!   histograms have no disable gate, so this is their live cost);
+//! * `obs_disabled/log_suppressed` — a `debug!` below the configured
+//!   level (fields must not format).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_disabled(c: &mut Criterion) {
+    // The obs instruments are process-global: pin the disabled state
+    // explicitly so the numbers mean what the group name claims.
+    waymem_obs::span::disarm();
+    waymem_obs::log::set_level(waymem_obs::log::Level::Warn);
+
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            waymem_obs::counter!("bench.obs.counter").inc();
+        })
+    });
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| {
+            let guard = waymem_obs::span!("bench.obs.span");
+            black_box(&guard);
+        })
+    });
+    group.bench_function("span_args_enter_exit", |b| {
+        b.iter(|| {
+            let guard = waymem_obs::span!("bench.obs.span", n = black_box(42u64));
+            black_box(&guard);
+        })
+    });
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            waymem_obs::histogram!("bench.obs.histogram").record(black_box(v));
+        })
+    });
+    group.bench_function("log_suppressed", |b| {
+        b.iter(|| {
+            waymem_obs::debug!("bench.obs.suppressed", value = black_box(7u64));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disabled);
+criterion_main!(benches);

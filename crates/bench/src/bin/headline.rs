@@ -19,12 +19,15 @@
 
 use std::time::Instant;
 
-use waymem_bench::json::{store_stats_json, Json};
+use waymem_bench::json::{phases_json, store_stats_json, Json};
 use waymem_bench::{geometric_mean, store_from_env};
 use waymem_sim::{DScheme, ExecPolicy, Experiment, IScheme, Suite};
 use waymem_workloads::Benchmark;
 
 fn main() {
+    // Arm span capture (WAYMEM_SPANS=<path>) and resolve the log level
+    // (WAYMEM_LOG) before any instrumented work runs.
+    waymem_obs::init_from_env();
     let dschemes = [DScheme::Original, DScheme::paper_way_memo()];
     let ischemes = [IScheme::Original, IScheme::paper_way_memo()];
     let store = store_from_env();
@@ -142,9 +145,19 @@ fn main() {
         stats.compression_ratio()
     );
 
+    let phases = waymem_obs::phase::snapshot();
+    println!(
+        "engine phases (exclusive wall-clock): {}",
+        phases
+            .iter()
+            .map(|(name, s)| format!("{name} {:.1} ms", s * 1e3))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let report = Json::object(vec![
-        ("schema", Json::from("waymem/headline/v3")),
+        ("schema", Json::from("waymem/headline/v4")),
         ("host_threads", Json::from(host_threads as u64)),
         ("benchmarks", Json::from(results.len() as u64)),
         ("dschemes", Json::from(dschemes.len() as u64)),
@@ -158,6 +171,7 @@ fn main() {
         ("streaming_events", Json::from(stream_events)),
         ("streaming_events_per_sec", Json::from(stream_eps)),
         ("trace_store", store_stats_json(&stats)),
+        ("phases", phases_json()),
         ("d_saving_avg_pct", Json::from(d_avg)),
         ("i_saving_avg_pct", Json::from(i_avg)),
         ("total_saving_avg_pct", Json::from(t_avg)),
@@ -166,4 +180,12 @@ fn main() {
     std::fs::write("BENCH_headline.json", format!("{report}\n"))
         .expect("write BENCH_headline.json");
     eprintln!("wrote BENCH_headline.json");
+
+    // With WAYMEM_SPANS set, drain every thread's span buffer into the
+    // Chrome trace-event file (open it at ui.perfetto.dev).
+    match waymem_obs::span::flush() {
+        Ok(Some((path, events))) => eprintln!("wrote {events} span events to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("headline: failed to write span trace: {e}"),
+    }
 }

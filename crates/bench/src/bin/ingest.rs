@@ -197,6 +197,9 @@ fn print_tables(row: &Row) {
 }
 
 fn main() -> ExitCode {
+    // Arm span capture (WAYMEM_SPANS=<path>) and resolve the log level
+    // (WAYMEM_LOG) before any instrumented work runs.
+    waymem_obs::init_from_env();
     let opts = parse_args();
     if opts.logs.is_empty() && !opts.run_synth {
         eprintln!("ingest: nothing to do (no logs and --no-synth)");
@@ -265,7 +268,12 @@ fn main() -> ExitCode {
         match outcome {
             Ok(row) => rows.push(row),
             Err(e) => {
-                eprintln!("ingest: {label}: {e} — skipping workload");
+                waymem_obs::warn!(
+                    "ingest.workload_failed",
+                    workload = label,
+                    error = e,
+                    retryable = e.is_retryable(),
+                );
                 failures.push((label, e));
             }
         }
@@ -294,7 +302,12 @@ fn main() -> ExitCode {
             match row {
                 Ok(row) => rows.push(row),
                 Err(e) => {
-                    eprintln!("ingest: {}: {e} — skipping workload", id.name());
+                    waymem_obs::warn!(
+                        "ingest.workload_failed",
+                        workload = id.name(),
+                        error = e,
+                        retryable = e.is_retryable(),
+                    );
                     failures.push((id.name(), e));
                 }
             }
@@ -367,10 +380,14 @@ fn main() -> ExitCode {
     }
     eprintln!("wrote {}", json_path.display());
     if !failures.is_empty() {
-        eprintln!("ingest: {} workload(s) failed:", failures.len());
-        for (workload, error) in &failures {
-            eprintln!("ingest:   {workload}: {error}");
-        }
+        // Each failure was already warned as `ingest.workload_failed`
+        // when it happened; the recap is one summary event.
+        waymem_obs::warn!("ingest.batch_failures", count = failures.len());
+    }
+    match waymem_obs::span::flush() {
+        Ok(Some((path, events))) => eprintln!("wrote {events} span events to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("ingest: failed to write span trace: {e}"),
     }
     // Isolation, not indifference: partial results with failures noted
     // still exit 0, but a batch where *nothing* survived is a failure.

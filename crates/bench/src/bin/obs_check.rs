@@ -1,0 +1,100 @@
+//! CI gate for the observability exports: validates a span trace file
+//! (written via `WAYMEM_SPANS=<path>`) as well-formed Chrome trace-event
+//! JSON with balanced `B`/`E` pairs and spans covering the record, store
+//! I/O, and replay phases — and, when a `BENCH_headline.json` is given,
+//! checks its schema v4 `phases` breakdown.
+//!
+//! ```text
+//! cargo run --release -p waymem-bench --bin obs_check -- spans.json [BENCH_headline.json]
+//! ```
+//!
+//! Exits non-zero with a description of the first violation, so a CI
+//! step is just the two commands: a `headline` run with `WAYMEM_SPANS`
+//! set, then this check over what it wrote.
+
+use std::process::ExitCode;
+
+use waymem_obs::chrome::{parse, validate_trace};
+
+/// Span-name prefixes a headline run must have recorded: trace
+/// production, store disk I/O, and front-end replay.
+const REQUIRED_SPAN_PREFIXES: [&str; 3] = ["record", "store.io", "replay"];
+
+/// Keys the schema v4 `phases` object must carry.
+const REQUIRED_PHASES: [&str; 4] = ["resolve", "record", "io", "replay"];
+
+fn check_spans(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    for prefix in REQUIRED_SPAN_PREFIXES {
+        if !summary.has_span_prefix(prefix) {
+            return Err(format!(
+                "{path}: no span named {prefix}* among {:?}",
+                summary.names
+            ));
+        }
+    }
+    println!(
+        "obs_check: {path}: {} events across {} threads, {} distinct spans — ok",
+        summary.events,
+        summary.threads,
+        summary.names.len()
+    );
+    Ok(())
+}
+
+fn check_headline(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = root
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("{path}: missing schema"))?;
+    if schema != "waymem/headline/v4" {
+        return Err(format!("{path}: schema is {schema}, expected waymem/headline/v4"));
+    }
+    let phases = root.get("phases").ok_or_else(|| format!("{path}: missing phases object"))?;
+    for key in REQUIRED_PHASES {
+        let seconds = phases
+            .get(key)
+            .and_then(|v| v.as_num())
+            .ok_or_else(|| format!("{path}: phases.{key} missing or non-numeric"))?;
+        if !(seconds.is_finite() && seconds >= 0.0) {
+            return Err(format!("{path}: phases.{key} = {seconds} is not a valid duration"));
+        }
+    }
+    // A headline run replays seven kernels; a breakdown where no phase
+    // accumulated any time means the instrumentation came unthreaded.
+    let total: f64 = REQUIRED_PHASES
+        .iter()
+        .filter_map(|k| phases.get(k).and_then(|v| v.as_num()))
+        .sum();
+    if total <= 0.0 {
+        return Err(format!("{path}: all phases are zero"));
+    }
+    println!("obs_check: {path}: schema v4 with four-phase breakdown ({total:.3} s total) — ok");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (spans, headline) = match args.as_slice() {
+        [spans] => (spans, None),
+        [spans, headline] => (spans, Some(headline)),
+        _ => {
+            eprintln!("usage: obs_check SPANS_JSON [BENCH_HEADLINE_JSON]");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = check_spans(spans).and_then(|()| match headline {
+        Some(path) => check_headline(path),
+        None => Ok(()),
+    });
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("obs_check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

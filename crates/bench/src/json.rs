@@ -162,9 +162,32 @@ pub fn store_stats_json(stats: &waymem_trace::StoreStats) -> Json {
     ])
 }
 
+/// The `phases` object for `BENCH_headline.json` (schema v4): exclusive
+/// wall-clock seconds the process spent in each engine phase — resolve
+/// (store lookup / hashing), record (interpret / parse / generate), io
+/// (store reads and writes), replay (front-end evaluation) — read from
+/// the [`waymem_obs::phase`] accumulators.
+#[must_use]
+pub fn phases_json() -> Json {
+    Json::object(
+        waymem_obs::phase::snapshot()
+            .into_iter()
+            .map(|(name, seconds)| (name, Json::from(seconds)))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phases_report_all_four_keys() {
+        let rendered = phases_json().to_string();
+        for key in ["resolve", "record", "io", "replay"] {
+            assert!(rendered.contains(&format!("\"{key}\":")), "missing {key} in {rendered}");
+        }
+    }
 
     #[test]
     fn store_stats_serialize_with_stable_keys() {

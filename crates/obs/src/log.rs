@@ -1,0 +1,226 @@
+//! Leveled structured logging (`WAYMEM_LOG=warn|info|debug`).
+//!
+//! Every line is one event name plus `key=value` fields:
+//!
+//! ```text
+//! waymem[warn] store.quarantine path=/cache/dct-s1.wmtr
+//! ```
+//!
+//! The level gate is a single relaxed atomic load, so a disabled
+//! [`debug!`](crate::debug!) in a hot path costs nothing measurable —
+//! field values are formatted only for events that pass the gate. The
+//! level comes from `WAYMEM_LOG` on first use (default `warn`; `off`
+//! silences everything) and can be overridden programmatically with
+//! [`set_level`]. Per-level emission counts land in the metrics
+//! registry (`log.warn` / `log.info` / `log.debug`), so tests can
+//! assert on what was logged without capturing stderr.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severities, ordered: a configured level admits itself and
+/// everything more severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is emitted.
+    Off = 0,
+    /// Unexpected-but-handled conditions (quarantines, failed workloads).
+    Warn = 1,
+    /// Routine state changes worth a line (evictions, sweeps).
+    Info = 2,
+    /// High-volume diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "silent" | "none" => Some(Level::Off),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// 255 = not yet initialized from the environment.
+static LEVEL: AtomicU8 = AtomicU8::new(255);
+
+fn load_level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        255 => {
+            let level = std::env::var("WAYMEM_LOG")
+                .ok()
+                .as_deref()
+                .and_then(Level::parse)
+                .unwrap_or(Level::Warn);
+            // A racing set_level wins over the env default.
+            let _ = LEVEL.compare_exchange(
+                255,
+                level as u8,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            load_level()
+        }
+        0 => Level::Off,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Resolves the level from `WAYMEM_LOG` now (it is otherwise read
+/// lazily on the first gate check). Idempotent.
+pub fn init_from_env() {
+    let _ = load_level();
+}
+
+/// Overrides the level for the rest of the process (tests, embedders).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The currently configured level.
+#[must_use]
+pub fn level() -> Level {
+    load_level()
+}
+
+/// `true` when events at `level` are emitted — the macros' gate, one
+/// relaxed atomic load after initialization.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    level <= load_level() && level != Level::Off
+}
+
+/// Formats and writes one event line to stderr and counts it in the
+/// metrics registry. Called by the macros *after* the level gate; the
+/// fields are already-formatted `(key, value)` pairs.
+pub fn emit(level: Level, event: &str, fields: &[(&str, String)]) {
+    let mut line = String::with_capacity(48 + event.len());
+    let _ = write!(line, "waymem[{}] {event}", level.name());
+    for (key, value) in fields {
+        let needs_quotes =
+            value.is_empty() || value.contains([' ', '"', '=']) || value.contains('\\');
+        if needs_quotes {
+            let _ = write!(line, " {key}={value:?}");
+        } else {
+            let _ = write!(line, " {key}={value}");
+        }
+    }
+    eprintln!("{line}");
+    match level {
+        Level::Off => {}
+        Level::Warn => crate::counter!("log.warn").inc(),
+        Level::Info => crate::counter!("log.info").inc(),
+        Level::Debug => crate::counter!("log.debug").inc(),
+    }
+}
+
+/// Emits one structured event if `level` passes the gate:
+/// `log!(Level::Warn, "store.quarantine", path = path.display())`.
+/// Field values are formatted with `Display`, only when emitting.
+/// The [`warn!`](crate::warn!), [`info!`](crate::info!) and
+/// [`debug!`](crate::debug!) shorthands cover the common levels.
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $event:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let level: $crate::log::Level = $level;
+        if $crate::log::enabled(level) {
+            $crate::log::emit(level, $event, &[$((stringify!($key), $crate::log::field(&$value))),*]);
+        }
+    }};
+}
+
+/// [`log!`](crate::log!) at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($event:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::log!($crate::log::Level::Warn, $event $(, $key = $value)*)
+    };
+}
+
+/// [`log!`](crate::log!) at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($event:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::log!($crate::log::Level::Info, $event $(, $key = $value)*)
+    };
+}
+
+/// [`log!`](crate::log!) at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($event:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::log!($crate::log::Level::Debug, $event $(, $key = $value)*)
+    };
+}
+
+/// Formats one field value for [`emit`] — the macros' helper.
+pub fn field(value: &impl Display) -> String {
+    value.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The level is process-global; tests that change it must not
+    /// overlap.
+    fn test_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse(" INFO "), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("verbose"), None);
+        assert!(Level::Warn < Level::Info && Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn gate_honors_the_configured_level() {
+        let _serial = test_lock().lock().unwrap();
+        let restore = level();
+        set_level(Level::Info);
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Warn));
+        set_level(restore);
+    }
+
+    #[test]
+    fn emitted_events_are_counted() {
+        let _serial = test_lock().lock().unwrap();
+        let restore = level();
+        set_level(Level::Debug);
+        let counted = crate::counter!("log.debug");
+        let before = counted.get();
+        crate::debug!("test.event", answer = 42, label = "two words");
+        assert_eq!(counted.get(), before + 1);
+        set_level(Level::Off);
+        crate::debug!("test.event.suppressed");
+        assert_eq!(counted.get(), before + 1, "suppressed events are not counted");
+        set_level(restore);
+    }
+}

@@ -1,0 +1,474 @@
+//! The global lock-free metrics registry.
+//!
+//! Instruments are interned by name: the first lookup allocates the
+//! instrument and leaks it (`&'static`), every later lookup returns the
+//! same handle. The [`counter!`](crate::counter!),
+//! [`gauge!`](crate::gauge!) and [`histogram!`](crate::histogram!) macros
+//! cache the handle in a per-call-site `OnceLock`, so after the first
+//! pass a hot loop never touches the registry lock again — recording is
+//! one relaxed atomic RMW.
+//!
+//! Histograms use power-of-two buckets (bucket *i* holds values in
+//! `[2^i, 2^(i+1))`) sharded [`SHARDS`]-way to keep concurrent recorders
+//! off each other's cache lines; a [`HistogramSnapshot`] merges the
+//! shards and answers p50/p95/p99 to bucket resolution. That is exactly
+//! the precision a latency instrument needs: "p99 is in the 2–4 ms
+//! bucket" — not a sorted reservoir's exact order statistic — at a cost
+//! of one atomic add per observation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Histogram bucket count: bucket `i` covers `[2^i, 2^(i+1))`, so 64
+/// buckets span every representable `u64` (nanoseconds, bytes, counts).
+pub const BUCKETS: usize = 64;
+
+/// Concurrent-recorder shards per histogram. Each recording thread is
+/// pinned round-robin to one shard, so recorders scale without bouncing
+/// a shared cache line.
+pub const SHARDS: usize = 8;
+
+/// A monotonically increasing event count. All operations are relaxed
+/// atomics: cheap enough for per-batch hot paths, exact under any
+/// interleaving.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins floating-point value (stored as bits in one
+/// atomic word) — throughput readings, cache occupancy, anything that
+/// is a level rather than a count.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 until first set).
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One histogram shard, cache-line aligned so concurrent recorders on
+/// different shards never share a line.
+#[derive(Debug)]
+#[repr(align(64))]
+struct Shard {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in: `floor(log2(v))`, with 0 and 1
+/// sharing bucket 0.
+fn bucket_of(v: u64) -> usize {
+    (63 - v.max(1).leading_zeros()) as usize
+}
+
+/// A sharded power-of-two-bucket histogram. [`record`](Self::record) is
+/// one relaxed add into the recording thread's shard plus a sum update;
+/// [`snapshot`](Self::snapshot) merges shards into a
+/// [`HistogramSnapshot`] for percentile queries.
+#[derive(Debug)]
+pub struct Histogram {
+    shards: Vec<Shard>,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Round-robin shard assignment, fixed per thread for its lifetime.
+fn shard_index() -> usize {
+    thread_local! {
+        static SHARD: usize = {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS
+        };
+    }
+    SHARD.with(|s| *s)
+}
+
+impl Histogram {
+    /// Records one observation (a latency in nanoseconds, a size in
+    /// bytes — any `u64`).
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum::<u64>())
+            .sum()
+    }
+
+    /// Merges the shards into an immutable view.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (merged, bucket) in buckets.iter_mut().zip(&shard.buckets) {
+                *merged += bucket.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot {
+            buckets,
+            sum,
+            count: buckets.iter().sum(),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable merged view of a [`Histogram`]: percentile queries to
+/// bucket resolution, plus exact count / sum / max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Merged per-bucket observation counts (bucket `i` =
+    /// `[2^i, 2^(i+1))`).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of every recorded value (wrapping).
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Largest value recorded.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`, to bucket resolution: the
+    /// upper bound of the bucket the `ceil(q * count)`-th observation
+    /// falls in (0 for an empty histogram).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max.max(1));
+            }
+        }
+        self.max
+    }
+
+    /// Median, to bucket resolution.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile, to bucket resolution.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile, to bucket resolution.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// Records its own lifetime, in nanoseconds, into a [`Histogram`] when
+/// dropped — the one-liner for timing a scope with early returns:
+/// `let _wait = Stopwatch::new(histogram!("store.lock.wait_ns"));`.
+#[derive(Debug)]
+#[must_use = "a stopwatch times the guard's lifetime — bind it to a scope"]
+pub struct Stopwatch {
+    histogram: &'static Histogram,
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing into `histogram`.
+    pub fn new(histogram: &'static Histogram) -> Self {
+        Stopwatch { histogram, started: std::time::Instant::now() }
+    }
+}
+
+impl Drop for Stopwatch {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record(ns);
+    }
+}
+
+/// The process-global instrument registry. Interning takes a mutex;
+/// the returned `&'static` handles are lock-free forever after — cache
+/// them (the instrument macros do).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+fn intern<T: Default>(map: &Mutex<BTreeMap<String, &'static T>>, name: &str) -> &'static T {
+    let mut map = map.lock().expect("metrics registry poisoned");
+    if let Some(handle) = map.get(name) {
+        return handle;
+    }
+    let handle: &'static T = Box::leak(Box::default());
+    map.insert(name.to_owned(), handle);
+    handle
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        intern(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        intern(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        intern(&self.histograms, name)
+    }
+
+    /// A point-in-time view of every instrument, name-sorted.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        fn view<T, V>(
+            map: &Mutex<BTreeMap<String, &'static T>>,
+            read: impl Fn(&T) -> V,
+        ) -> Vec<(String, V)> {
+            map.lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(name, handle)| (name.clone(), read(handle)))
+                .collect()
+        }
+        RegistrySnapshot {
+            counters: view(&self.counters, Counter::get),
+            gauges: view(&self.gauges, Gauge::get),
+            histograms: view(&self.histograms, Histogram::snapshot),
+        }
+    }
+}
+
+/// A point-in-time export of the whole registry (name-sorted vectors).
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// Every counter's name and count.
+    pub counters: Vec<(String, u64)>,
+    /// Every gauge's name and value.
+    pub gauges: Vec<(String, f64)>,
+    /// Every histogram's name and merged view.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// The process-global [`Registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// A `&'static` [`Counter`](crate::metrics::Counter) for `name`, interned once
+/// per call site and lock-free thereafter.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::registry().counter($name))
+    }};
+}
+
+/// A `&'static` [`Gauge`](crate::metrics::Gauge) for `name`, interned once per
+/// call site and lock-free thereafter.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::registry().gauge($name))
+    }};
+}
+
+/// A `&'static` [`Histogram`](crate::metrics::Histogram) for `name`, interned
+/// once per call site and lock-free thereafter.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_intern_to_the_same_handle() {
+        let a = registry().counter("test.metrics.counter");
+        let b = registry().counter("test.metrics.counter");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = registry().gauge("test.metrics.gauge");
+        g.set(2.5);
+        assert!((registry().gauge("test.metrics.gauge").get() - 2.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn macro_handles_are_stable_per_call_site() {
+        let c = counter!("test.metrics.macro");
+        c.inc();
+        counter!("test.metrics.macro").inc();
+        assert!(counter!("test.metrics.macro").get() >= 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_count_equals_observations_and_quantiles_bound() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(snap.sum, (1..=1000u64).sum::<u64>());
+        assert_eq!(snap.max, 1000);
+        // Bucket resolution: the quantile answer is an upper bound no
+        // smaller than the exact order statistic and no bigger than the
+        // next power of two.
+        assert!(snap.p50() >= 500 && snap.p50() <= 1000, "p50 {}", snap.p50());
+        assert!(snap.p99() >= 990 && snap.p99() <= 1000, "p99 {}", snap.p99());
+        assert!((snap.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_is_exact_under_concurrent_recorders() {
+        let h: &'static Histogram = Box::leak(Box::default());
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * PER_THREAD + i + 1);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, THREADS * PER_THREAD);
+        assert_eq!(snap.sum, (1..=THREADS * PER_THREAD).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = Histogram::default();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert!((snap.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        registry().counter("test.snap.b");
+        registry().counter("test.snap.a");
+        let snap = registry().snapshot();
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -357,6 +357,8 @@ impl<'s> Experiment<'s> {
     ///
     /// As [`run`](Experiment::run).
     pub fn prepare(self) -> Result<Prepared, RunError> {
+        let _phase = waymem_obs::phase::enter(waymem_obs::phase::Phase::Resolve);
+        let _span = waymem_obs::span!("resolve", workload = describe_workload(&self.workload));
         let Experiment { workload, cfg, dschemes, ischemes, store, policy, streaming } = self;
         let store = store.get();
         let mut ingest_meta = None;
@@ -388,10 +390,10 @@ impl<'s> Experiment<'s> {
                 let trace = match store {
                     Some(s) => s
                         .get_or_record(id, hash, || {
-                            Ok::<_, std::convert::Infallible>(synth::generate(spec))
+                            Ok::<_, std::convert::Infallible>(generate_synth(spec))
                         })
                         .unwrap_or_else(|e| match e {}),
-                    None => Arc::new(synth::generate(spec)),
+                    None => Arc::new(generate_synth(spec)),
                 };
                 (id, hash, trace)
             }
@@ -484,6 +486,8 @@ fn resolve_streaming(
             let id = WorkloadId::Synthetic(spec);
             let hash = synth::source_hash(spec);
             let st = open_stream_via(store, id, hash, |path| {
+                let _phase = waymem_obs::phase::enter(waymem_obs::phase::Phase::Record);
+                let _span = waymem_obs::span!("record", workload = id.name());
                 let enc = StreamingEncoder::create(path).map_err(StreamError::from)?;
                 let (stats, enc) = synth::generate_into(spec, enc);
                 enc.finish(stats.cycles, hash)?;
@@ -594,6 +598,8 @@ fn produce_log_streaming(
     out: &Path,
     ingest_meta: &mut Option<IngestMeta>,
 ) -> Result<(), RunError> {
+    let _phase = waymem_obs::phase::enter(waymem_obs::phase::Phase::Record);
+    let _span = waymem_obs::span!("record", source = path.display());
     let format = format.unwrap_or_else(|| LogFormat::for_path(path));
     let ingest_err = |message: String| RunError::Ingest { path: path.to_path_buf(), message };
     let file = std::fs::File::open(path).map_err(|e| ingest_err(format!("cannot open: {e}")))?;
@@ -619,6 +625,15 @@ fn produce_log_streaming(
         skipped: stats.skipped,
     });
     Ok(())
+}
+
+/// Generates a synthetic trace under the Record phase, so synthetic
+/// production shows up in the phase breakdown and span stream exactly
+/// like a kernel interpretation or a log parse.
+fn generate_synth(spec: SynthSpec) -> RecordedTrace {
+    let _phase = waymem_obs::phase::enter(waymem_obs::phase::Phase::Record);
+    let _span = waymem_obs::span!("record", workload = WorkloadId::Synthetic(spec).name());
+    synth::generate(spec)
 }
 
 /// Resolves a kernel workload at an explicit scale: record through the
@@ -647,6 +662,8 @@ fn parse_log(
     path: &Path,
     format: Option<LogFormat>,
 ) -> Result<(RecordedTrace, u64, IngestMeta), RunError> {
+    let _phase = waymem_obs::phase::enter(waymem_obs::phase::Phase::Record);
+    let _span = waymem_obs::span!("record", source = path.display());
     let format = format.unwrap_or_else(|| LogFormat::for_path(path));
     let ingest_err = |message: String| RunError::Ingest { path: path.to_path_buf(), message };
     let file = std::fs::File::open(path).map_err(|e| ingest_err(format!("cannot open: {e}")))?;
@@ -925,6 +942,7 @@ impl<'s> Suite<'s> {
             self;
         let store_ref = store.get();
         let run_one = |w: &WorkloadSpec| {
+            let _span = waymem_obs::span!("suite.workload", workload = describe_workload(w));
             let exp = Experiment {
                 workload: w.clone(),
                 cfg,
@@ -991,7 +1009,12 @@ impl<'s> Suite<'s> {
                         Some(result) => results.push(result),
                         None => {
                             let workload = describe_workload(&workloads[index]);
-                            eprintln!("waymem-sim: workload {workload} failed: {error}");
+                            waymem_obs::warn!(
+                                "suite.workload_failed",
+                                workload = workload,
+                                error = error,
+                                retryable = retryable,
+                            );
                             failures.push(SuiteFailure { index, workload, error, retryable });
                         }
                     }

@@ -26,6 +26,9 @@ use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
+
+use waymem_obs::phase::Phase;
 
 use waymem_cache::{AccessStats, Geometry};
 use waymem_hwmodel::{
@@ -376,6 +379,8 @@ impl TraceSink for SplitRecordingSink {
 /// Returns [`RunError`] if the kernel fails to assemble, faults, or does
 /// not halt within its step budget.
 pub fn record_trace(bench: Benchmark, cfg: &SimConfig) -> Result<RecordedTrace, RunError> {
+    let _phase = waymem_obs::phase::enter(Phase::Record);
+    let _span = waymem_obs::span!("record", workload = bench.name());
     let wl = bench.workload(cfg.scale)?;
     // Pre-size each stream with `RecordingSink`'s shared clamp. The
     // estimates are one fetch per budgeted instruction (+1 for `halt`)
@@ -418,6 +423,8 @@ pub fn record_trace_streaming(
     cfg: &SimConfig,
     path: &Path,
 ) -> Result<StreamStats, RunError> {
+    let _phase = waymem_obs::phase::enter(Phase::Record);
+    let _span = waymem_obs::span!("record", workload = bench.name());
     let wl = bench.workload(cfg.scale)?;
     let mut sink = StreamingEncoder::create(path).map_err(StreamError::from)?;
     let mut cpu = Cpu::new(&wl.program);
@@ -491,6 +498,70 @@ pub(crate) fn replay_in_parallel(front_count: usize) -> bool {
         && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
 }
 
+/// Elapsed nanoseconds since `started`, saturated to `u64::MAX`.
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Builds one D-front and replays the recorded data stream through it,
+/// publishing the per-front instruments: `replay.data_events` (events
+/// delivered), `replay.front_ns` (wall-clock per front), and a
+/// `replay.front` span. Shared by the parallel workers and the serial
+/// path so both report identically.
+fn replay_d_front(s: DScheme, geometry: Geometry, events: &[TraceEvent]) -> DFront {
+    let _span = waymem_obs::span!("replay.front", scheme = s.name());
+    let started = Instant::now();
+    let mut f = s.build(geometry);
+    f.events(events);
+    waymem_obs::counter!("replay.data_events").add(events.len() as u64);
+    waymem_obs::histogram!("replay.front_ns").record(elapsed_ns(started));
+    f
+}
+
+/// The I-front counterpart of [`replay_d_front`]: counts into
+/// `replay.fetch_events`.
+fn replay_i_front(s: IScheme, geometry: Geometry, events: &[TraceEvent]) -> IFront {
+    let _span = waymem_obs::span!("replay.front", scheme = s.name());
+    let started = Instant::now();
+    let mut f = s.build(geometry);
+    f.events(events);
+    waymem_obs::counter!("replay.fetch_events").add(events.len() as u64);
+    waymem_obs::histogram!("replay.front_ns").record(elapsed_ns(started));
+    f
+}
+
+/// Streaming counterpart of [`replay_d_front`]: replays the data section
+/// straight from the `.wmtr` cursor, counting the delivered events that
+/// [`StreamingTrace::replay_section`] reports.
+fn stream_d_front(
+    s: DScheme,
+    geometry: Geometry,
+    trace: &StreamingTrace,
+) -> Result<DFront, StreamError> {
+    let _span = waymem_obs::span!("replay.front", scheme = s.name());
+    let started = Instant::now();
+    let mut f = s.build(geometry);
+    let delivered = trace.replay_section(Section::Data, &mut f)?;
+    waymem_obs::counter!("replay.data_events").add(delivered);
+    waymem_obs::histogram!("replay.front_ns").record(elapsed_ns(started));
+    Ok(f)
+}
+
+/// Streaming counterpart of [`replay_i_front`].
+fn stream_i_front(
+    s: IScheme,
+    geometry: Geometry,
+    trace: &StreamingTrace,
+) -> Result<IFront, StreamError> {
+    let _span = waymem_obs::span!("replay.front", scheme = s.name());
+    let started = Instant::now();
+    let mut f = s.build(geometry);
+    let delivered = trace.replay_section(Section::Fetch, &mut f)?;
+    waymem_obs::counter!("replay.fetch_events").add(delivered);
+    waymem_obs::histogram!("replay.front_ns").record(elapsed_ns(started));
+    Ok(f)
+}
+
 /// Replays an already-recorded trace of the kernel `bench` through every
 /// requested scheme's front-end.
 #[deprecated(
@@ -550,6 +621,8 @@ pub(crate) fn replay_with_policy(
     ischemes: &[IScheme],
     policy: ExecPolicy,
 ) -> SimResult {
+    let _phase = waymem_obs::phase::enter(Phase::Replay);
+    let _span = waymem_obs::span!("replay", workload = workload.name());
     let parallel = match policy {
         ExecPolicy::Auto => replay_in_parallel(dschemes.len() + ischemes.len()),
         ExecPolicy::Parallel => true,
@@ -567,11 +640,7 @@ pub(crate) fn replay_with_policy(
                     scope.spawn(move || {
                         group
                             .iter()
-                            .map(|&s| {
-                                let mut f = s.build(cfg.geometry);
-                                f.events(data_events);
-                                f
-                            })
+                            .map(|&s| replay_d_front(s, cfg.geometry, data_events))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -582,11 +651,7 @@ pub(crate) fn replay_with_policy(
                     scope.spawn(move || {
                         group
                             .iter()
-                            .map(|&s| {
-                                let mut f = s.build(cfg.geometry);
-                                f.events(fetch_events);
-                                f
-                            })
+                            .map(|&s| replay_i_front(s, cfg.geometry, fetch_events))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -602,19 +667,15 @@ pub(crate) fn replay_with_policy(
             (dfronts, ifronts)
         })
     } else {
-        let build_and_replay_d = |&s: &DScheme| {
-            let mut f = s.build(cfg.geometry);
-            f.events(data_events);
-            f
-        };
-        let build_and_replay_i = |&s: &IScheme| {
-            let mut f = s.build(cfg.geometry);
-            f.events(fetch_events);
-            f
-        };
         (
-            dschemes.iter().map(build_and_replay_d).collect(),
-            ischemes.iter().map(build_and_replay_i).collect(),
+            dschemes
+                .iter()
+                .map(|&s| replay_d_front(s, cfg.geometry, data_events))
+                .collect(),
+            ischemes
+                .iter()
+                .map(|&s| replay_i_front(s, cfg.geometry, fetch_events))
+                .collect(),
         )
     };
     let energies = run_energies(cfg);
@@ -675,6 +736,8 @@ fn replay_streaming(
     ischemes: &[IScheme],
     policy: ExecPolicy,
 ) -> Result<SimResult, RunError> {
+    let _phase = waymem_obs::phase::enter(Phase::Replay);
+    let _span = waymem_obs::span!("replay", workload = workload.name());
     let parallel = match policy {
         ExecPolicy::Auto => replay_in_parallel(dschemes.len() + ischemes.len()),
         ExecPolicy::Parallel => true,
@@ -690,11 +753,7 @@ fn replay_streaming(
                     scope.spawn(move || {
                         group
                             .iter()
-                            .map(|&s| {
-                                let mut f = s.build(cfg.geometry);
-                                trace.replay_section(Section::Data, &mut f)?;
-                                Ok(f)
-                            })
+                            .map(|&s| stream_d_front(s, cfg.geometry, trace))
                             .collect::<Result<Vec<_>, StreamError>>()
                     })
                 })
@@ -705,11 +764,7 @@ fn replay_streaming(
                     scope.spawn(move || {
                         group
                             .iter()
-                            .map(|&s| {
-                                let mut f = s.build(cfg.geometry);
-                                trace.replay_section(Section::Fetch, &mut f)?;
-                                Ok(f)
-                            })
+                            .map(|&s| stream_i_front(s, cfg.geometry, trace))
                             .collect::<Result<Vec<_>, StreamError>>()
                     })
                 })
@@ -727,15 +782,11 @@ fn replay_streaming(
     } else {
         let mut dfronts = Vec::with_capacity(dschemes.len());
         for &s in dschemes {
-            let mut f = s.build(cfg.geometry);
-            trace.replay_section(Section::Data, &mut f).map_err(RunError::from)?;
-            dfronts.push(f);
+            dfronts.push(stream_d_front(s, cfg.geometry, trace).map_err(RunError::from)?);
         }
         let mut ifronts = Vec::with_capacity(ischemes.len());
         for &s in ischemes {
-            let mut f = s.build(cfg.geometry);
-            trace.replay_section(Section::Fetch, &mut f).map_err(RunError::from)?;
-            ifronts.push(f);
+            ifronts.push(stream_i_front(s, cfg.geometry, trace).map_err(RunError::from)?);
         }
         (dfronts, ifronts)
     };
@@ -856,6 +907,8 @@ pub(crate) fn run_kernel_fanout(
     dschemes: &[DScheme],
     ischemes: &[IScheme],
 ) -> Result<SimResult, RunError> {
+    let _phase = waymem_obs::phase::enter(Phase::Replay);
+    let _span = waymem_obs::span!("replay", workload = bench.name());
     let wl = bench.workload(cfg.scale)?;
     let mut sink = FanoutSink {
         dfronts: dschemes.iter().map(|s| s.build(cfg.geometry)).collect(),

@@ -34,7 +34,9 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use waymem_obs::phase::Phase;
 
 /// Suffix every in-flight file of the seam's atomic write path carries;
 /// the store's orphan sweep recognizes (and reclaims) crashed leftovers
@@ -412,16 +414,23 @@ impl StoreIo {
     /// Any non-transient I/O error (or a transient one that outlives the
     /// retry budget).
     pub fn read_to_vec(&self, path: &Path) -> io::Result<Vec<u8>> {
-        let mut file = self.open(path)?;
-        let mut out = Vec::new();
-        let mut buf = [0u8; 64 * 1024];
-        loop {
-            let n = self.retry(|| file.read(&mut buf))?;
-            if n == 0 {
-                return Ok(out);
+        let _phase = waymem_obs::phase::enter(Phase::Io);
+        let _span = waymem_obs::span!("store.io.read");
+        let started = Instant::now();
+        let result = (|| {
+            let mut file = self.open(path)?;
+            let mut out = Vec::new();
+            let mut buf = [0u8; 64 * 1024];
+            loop {
+                let n = self.retry(|| file.read(&mut buf))?;
+                if n == 0 {
+                    return Ok(out);
+                }
+                out.extend_from_slice(&buf[..n]);
             }
-            out.extend_from_slice(&buf[..n]);
-        }
+        })();
+        waymem_obs::histogram!("store.io.read_ns").record(elapsed_ns(started));
+        result
     }
 
     /// A process-unique in-flight path for an atomic write targeting
@@ -448,6 +457,9 @@ impl StoreIo {
     /// The first non-transient failure creating, writing, syncing or
     /// renaming.
     pub fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let _phase = waymem_obs::phase::enter(Phase::Io);
+        let _span = waymem_obs::span!("store.io.write", bytes = bytes.len());
+        let started = Instant::now();
         let tmp = Self::temp_path(path);
         let result = (|| {
             let mut file = self.create(&tmp)?;
@@ -470,8 +482,14 @@ impl StoreIo {
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
+        waymem_obs::histogram!("store.io.write_ns").record(elapsed_ns(started));
         result
     }
+}
+
+/// Nanoseconds since `started`, saturating — the latency-histogram unit.
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The writer pid a [`StoreIo::temp_path`] name embeds

@@ -60,6 +60,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime};
 
 use waymem_isa::RecordedTrace;
+use waymem_obs::metrics::Stopwatch;
 
 use crate::codec;
 use crate::fault::{self, StoreIo};
@@ -153,6 +154,32 @@ impl StoreStats {
         } else {
             self.raw_bytes as f64 / self.encoded_bytes as f64
         }
+    }
+
+    /// Mirrors the snapshot into the global metrics registry as
+    /// `store.*` gauges, so anything holding the registry — an exporter,
+    /// a service endpoint — sees store state without threading
+    /// `StoreStats` through its plumbing. [`TraceStore::stats`] calls
+    /// this on every snapshot.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn publish(&self) {
+        let set = |name: &str, v: u64| waymem_obs::registry().gauge(name).set(v as f64);
+        set("store.lookups", self.lookups);
+        set("store.hits", self.hits);
+        set("store.disk_hits", self.disk_hits);
+        set("store.stream_opens", self.stream_opens);
+        set("store.records", self.records);
+        set("store.stale", self.stale);
+        set("store.raw_bytes", self.raw_bytes);
+        set("store.encoded_bytes", self.encoded_bytes);
+        set("store.files_saved", self.files_saved);
+        set("store.files_loaded", self.files_loaded);
+        set("store.files_evicted", self.files_evicted);
+        set("store.bytes_evicted", self.bytes_evicted);
+        set("store.quarantined", self.quarantined);
+        set("store.recovered", self.recovered);
+        set("store.io_retries", self.io_retries);
+        waymem_obs::registry().gauge("store.hit_rate").set(self.hit_rate());
     }
 }
 
@@ -360,6 +387,7 @@ impl TraceStore {
     pub fn stats(&self) -> StoreStats {
         let mut stats = self.counters.snapshot();
         stats.io_retries = self.io.retries();
+        stats.publish();
         stats
     }
 
@@ -454,7 +482,7 @@ impl TraceStore {
             let _ = fs::remove_file(path);
         }
         Counters::bump(&self.counters.quarantined);
-        eprintln!("waymem-trace: quarantined unreadable cache file {}", path.display());
+        waymem_obs::warn!("store.quarantine", path = path.display());
     }
 
     /// One hygiene pass per store over the cache dir: in-flight `*.tmp`
@@ -479,7 +507,7 @@ impl TraceStore {
                 None => entry_is_old(&entry),
             };
             if orphaned && fs::remove_file(&path).is_ok() {
-                eprintln!("waymem-trace: swept orphaned temp {}", path.display());
+                waymem_obs::info!("store.orphan_swept", path = path.display());
             }
         }
     }
@@ -494,6 +522,7 @@ impl TraceStore {
         let dir = self.cache_dir.as_ref()?;
         fs::create_dir_all(dir).ok()?;
         let lock = lock_path(path);
+        let _wait = Stopwatch::new(waymem_obs::histogram!("store.lock.wait_ns"));
         for _ in 0..LOCK_WAIT_ATTEMPTS {
             match OpenOptions::new().write(true).create_new(true).open(&lock) {
                 Ok(mut file) => {
@@ -516,7 +545,8 @@ impl TraceStore {
     /// Evicts oldest-mtime `.wmtr` files until the cache dir fits the
     /// configured cap, sparing `just_written` (evicting the file we just
     /// paid to encode would make the cap counter-productive). Every
-    /// eviction is logged to stderr. Best-effort throughout: racing
+    /// eviction is logged as a `store.evicted` info event
+    /// (`WAYMEM_LOG=info` to see them). Best-effort throughout: racing
     /// processes or I/O errors degrade to "evict less", never to a
     /// failed lookup.
     fn enforce_cache_cap(&self, just_written: &Path) {
@@ -554,9 +584,11 @@ impl TraceStore {
                     total = total.saturating_sub(len);
                     Counters::bump(&self.counters.files_evicted);
                     self.counters.bytes_evicted.fetch_add(len, Ordering::Relaxed);
-                    eprintln!(
-                        "waymem-trace: cache over {cap} B cap, evicted {} ({len} B)",
-                        path.display()
+                    waymem_obs::info!(
+                        "store.evicted",
+                        path = path.display(),
+                        bytes = len,
+                        cap = cap,
                     );
                 }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {
@@ -593,6 +625,7 @@ impl TraceStore {
         source_hash: u64,
         record: impl FnOnce() -> Result<RecordedTrace, E>,
     ) -> Result<Arc<RecordedTrace>, E> {
+        let _span = waymem_obs::span!("store.lookup", workload = key.name());
         let slot = self.slot(key);
         let mut guard = slot.lock().expect("trace slot poisoned");
         Counters::bump(&self.counters.lookups);
@@ -696,6 +729,7 @@ impl TraceStore {
         source_hash: u64,
         produce: impl FnOnce(&Path) -> Result<(), E>,
     ) -> Result<StreamingTrace, E> {
+        let _span = waymem_obs::span!("store.open_stream", workload = key.name());
         let slot = self.slot(key);
         let guard = slot.lock().expect("trace slot poisoned");
         Counters::bump(&self.counters.lookups);

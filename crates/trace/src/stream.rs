@@ -36,6 +36,9 @@ use std::fmt;
 use std::fs;
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use waymem_obs::phase::Phase;
 
 use waymem_isa::{FetchKind, RecordedTrace, RecordingSink, TraceEvent, TraceSink};
 
@@ -271,6 +274,8 @@ impl StreamingEncoder {
     /// The first I/O failure, whether stashed during event push or hit
     /// while assembling the final file.
     pub fn finish(self, cycles: u64, source_hash: u64) -> Result<StreamStats, StreamError> {
+        let _phase = waymem_obs::phase::enter(Phase::Io);
+        let _span = waymem_obs::span!("store.io.write", events = self.event_count());
         let StreamingEncoder {
             out_path,
             fetch,
@@ -425,6 +430,8 @@ impl StreamingTrace {
     ///
     /// As [`open`](Self::open).
     pub fn open_with(path: &Path, io: StoreIo) -> Result<Self, StreamError> {
+        let _phase = waymem_obs::phase::enter(Phase::Io);
+        let _span = waymem_obs::span!("store.io.open");
         let mut file = io.open(path)?;
         let file_len = io.retry(|| file.seek(SeekFrom::End(0)))?;
         file.seek(SeekFrom::Start(0))?;
@@ -620,7 +627,7 @@ impl StreamingTrace {
                 chunk.push(codec::decode_event(&mut cur, &mut prev)?);
                 decoded += 1;
                 if chunk.len() == self.batch {
-                    sink.events(&chunk);
+                    deliver_batch(sink, &chunk);
                     chunk.clear();
                 }
             }
@@ -628,7 +635,7 @@ impl StreamingTrace {
             consumed += start as u64;
         }
         if !chunk.is_empty() {
-            sink.events(&chunk);
+            deliver_batch(sink, &chunk);
         }
         Ok(decoded)
     }
@@ -664,6 +671,17 @@ impl StreamingTrace {
             cycles: self.cycles,
         })
     }
+}
+
+/// Hands one decoded batch to the sink, recording its latency into the
+/// `replay.batch_ns` histogram — the per-batch cost the ROADMAP's
+/// throughput work wants visible. Two `Instant` reads per default-size
+/// (4096-event) batch: noise against the batch's replay cost.
+fn deliver_batch<S: TraceSink + ?Sized>(sink: &mut S, chunk: &[TraceEvent]) {
+    let started = Instant::now();
+    sink.events(chunk);
+    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    waymem_obs::histogram!("replay.batch_ns").record(ns);
 }
 
 impl Drop for StreamingTrace {

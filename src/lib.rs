@@ -19,7 +19,11 @@
 //!   trace runs through every lookup scheme;
 //! * [`sim`] — cache front-ends for every scheme and the composable
 //!   [`Experiment`](sim::Experiment) / [`Suite`](sim::Suite) builder
-//!   behind every run (Figures 4–8 included).
+//!   behind every run (Figures 4–8 included);
+//! * [`obs`] — the observability layer: a lock-free metrics registry,
+//!   RAII span tracing with Perfetto-compatible Chrome-trace export
+//!   (`WAYMEM_SPANS=<path>`), leveled structured logging
+//!   (`WAYMEM_LOG=warn|info|debug`) and per-run phase accounting.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +57,7 @@ pub use waymem_core as core;
 pub use waymem_hwmodel as hwmodel;
 pub use waymem_ingest as ingest;
 pub use waymem_isa as isa;
+pub use waymem_obs as obs;
 pub use waymem_sim as sim;
 pub use waymem_trace as trace;
 pub use waymem_workloads as workloads;
