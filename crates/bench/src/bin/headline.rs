@@ -19,8 +19,8 @@
 
 use std::time::Instant;
 
-use waymem_bench::json::{phases_json, store_stats_json, Json};
-use waymem_bench::{geometric_mean, store_from_env};
+use waymem_bench::json::{metrics_json, phases_json, store_stats_json, Json};
+use waymem_bench::{geometric_mean, ledger, store_from_env};
 use waymem_sim::{DScheme, ExecPolicy, Experiment, IScheme, Suite};
 use waymem_workloads::Benchmark;
 
@@ -156,12 +156,11 @@ fn main() {
     );
 
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let report = Json::object(vec![
-        ("schema", Json::from("waymem/headline/v4")),
-        ("host_threads", Json::from(host_threads as u64)),
-        ("benchmarks", Json::from(results.len() as u64)),
-        ("dschemes", Json::from(dschemes.len() as u64)),
-        ("ischemes", Json::from(ischemes.len() as u64)),
+    let provenance = ledger::Provenance::detect();
+    // The perf figures double as this run's ledger record: what the
+    // report carries at its root, `bench_diff` reads back from
+    // `BENCH_LEDGER.jsonl` under `perf`.
+    let perf = vec![
         ("serial_fanout_seconds", Json::from(serial_s)),
         ("store_cold_seconds", Json::from(cold_s)),
         ("store_warm_seconds", Json::from(warm_s)),
@@ -176,10 +175,34 @@ fn main() {
         ("i_saving_avg_pct", Json::from(i_avg)),
         ("total_saving_avg_pct", Json::from(t_avg)),
         ("total_saving_max_pct", Json::from((1.0 - max_saving) * 100.0)),
-    ]);
+    ];
+    let mut report = vec![
+        ("schema", Json::from("waymem/headline/v5")),
+        ("git_rev", Json::from(provenance.git_rev.clone())),
+        ("host_threads", Json::from(host_threads as u64)),
+        ("benchmarks", Json::from(results.len() as u64)),
+        ("dschemes", Json::from(dschemes.len() as u64)),
+        ("ischemes", Json::from(ischemes.len() as u64)),
+    ];
+    report.extend(perf.iter().cloned());
+    report.push(("metrics", metrics_json()));
+    let report = Json::object(report);
     std::fs::write("BENCH_headline.json", format!("{report}\n"))
         .expect("write BENCH_headline.json");
     eprintln!("wrote BENCH_headline.json");
+
+    // Append this run to the durable trajectory (WAYMEM_LEDGER=off to
+    // skip; see waymem_bench::ledger for the dedup/rotation policy).
+    if let Some(outcome) = ledger::append_from_env("headline", Json::object(perf)) {
+        eprintln!(
+            "ledger: {} — {} records (run {} at rev {}{})",
+            outcome.path.display(),
+            outcome.records,
+            outcome.runs_at_rev,
+            provenance.git_rev,
+            if provenance.git_dirty { ", dirty" } else { "" }
+        );
+    }
 
     // With WAYMEM_SPANS set, drain every thread's span buffer into the
     // Chrome trace-event file (open it at ui.perfetto.dev).

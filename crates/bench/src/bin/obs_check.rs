@@ -2,10 +2,14 @@
 //! (written via `WAYMEM_SPANS=<path>`) as well-formed Chrome trace-event
 //! JSON with balanced `B`/`E` pairs and spans covering the record, store
 //! I/O, and replay phases — and, when a `BENCH_headline.json` is given,
-//! checks its schema v4 `phases` breakdown.
+//! checks its schema v5 `phases` breakdown and embedded `metrics`
+//! snapshot (histogram percentiles monotone, phase totals non-negative).
+//! `--flight FILE` validates a crash flight-recorder dump instead of /
+//! as well as the span trace.
 //!
 //! ```text
 //! cargo run --release -p waymem-bench --bin obs_check -- spans.json [BENCH_headline.json]
+//! cargo run --release -p waymem-bench --bin obs_check -- --flight waymem-flight.json
 //! ```
 //!
 //! Exits non-zero with a description of the first violation, so a CI
@@ -15,12 +19,14 @@
 use std::process::ExitCode;
 
 use waymem_obs::chrome::{parse, validate_trace};
+use waymem_obs::flight::validate_dump;
+use waymem_obs::snapshot::validate_metrics;
 
 /// Span-name prefixes a headline run must have recorded: trace
 /// production, store disk I/O, and front-end replay.
 const REQUIRED_SPAN_PREFIXES: [&str; 3] = ["record", "store.io", "replay"];
 
-/// Keys the schema v4 `phases` object must carry.
+/// Keys the schema v5 `phases` object must carry.
 const REQUIRED_PHASES: [&str; 4] = ["resolve", "record", "io", "replay"];
 
 fn check_spans(path: &str) -> Result<(), String> {
@@ -50,8 +56,8 @@ fn check_headline(path: &str) -> Result<(), String> {
         .get("schema")
         .and_then(|v| v.as_str())
         .ok_or_else(|| format!("{path}: missing schema"))?;
-    if schema != "waymem/headline/v4" {
-        return Err(format!("{path}: schema is {schema}, expected waymem/headline/v4"));
+    if schema != "waymem/headline/v5" {
+        return Err(format!("{path}: schema is {schema}, expected waymem/headline/v5"));
     }
     let phases = root.get("phases").ok_or_else(|| format!("{path}: missing phases object"))?;
     for key in REQUIRED_PHASES {
@@ -72,24 +78,65 @@ fn check_headline(path: &str) -> Result<(), String> {
     if total <= 0.0 {
         return Err(format!("{path}: all phases are zero"));
     }
-    println!("obs_check: {path}: schema v4 with four-phase breakdown ({total:.3} s total) — ok");
+    // The embedded registry snapshot must be internally consistent:
+    // counters non-negative, histogram percentiles monotone
+    // (p50 ≤ p95 ≤ p99 ≤ max), phase totals non-negative.
+    let metrics =
+        root.get("metrics").ok_or_else(|| format!("{path}: missing metrics object"))?;
+    validate_metrics(metrics).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "obs_check: {path}: schema v5, four-phase breakdown ({total:.3} s total), \
+         metrics snapshot consistent — ok"
+    );
+    Ok(())
+}
+
+fn check_flight(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = validate_dump(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "obs_check: {path}: flight dump (reason {:?}) with {} events, {} distinct names, \
+         metrics snapshot consistent — ok",
+        summary.reason,
+        summary.events,
+        summary.names.len()
+    );
     Ok(())
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (spans, headline) = match args.as_slice() {
-        [spans] => (spans, None),
-        [spans, headline] => (spans, Some(headline)),
+    let mut positional: Vec<String> = Vec::new();
+    let mut flights: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flight" => match args.next() {
+                Some(path) => flights.push(path),
+                None => {
+                    eprintln!("obs_check: --flight needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("usage: obs_check [SPANS_JSON [BENCH_HEADLINE_JSON]] [--flight DUMP_JSON]");
+                return ExitCode::from(2);
+            }
+            path => positional.push(path.to_owned()),
+        }
+    }
+    let (spans, headline) = match positional.as_slice() {
+        [] if !flights.is_empty() => (None, None),
+        [spans] => (Some(spans.clone()), None),
+        [spans, headline] => (Some(spans.clone()), Some(headline.clone())),
         _ => {
-            eprintln!("usage: obs_check SPANS_JSON [BENCH_HEADLINE_JSON]");
+            eprintln!("usage: obs_check [SPANS_JSON [BENCH_HEADLINE_JSON]] [--flight DUMP_JSON]");
             return ExitCode::from(2);
         }
     };
-    let outcome = check_spans(spans).and_then(|()| match headline {
-        Some(path) => check_headline(path),
-        None => Ok(()),
-    });
+    let outcome = spans
+        .map_or(Ok(()), |path| check_spans(&path))
+        .and_then(|()| headline.map_or(Ok(()), |path| check_headline(&path)))
+        .and_then(|()| flights.iter().try_for_each(|path| check_flight(path)));
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {

@@ -26,6 +26,10 @@ pub enum Json {
     Array(Vec<Json>),
     /// An object; key order is preserved as inserted.
     Object(Vec<(String, Json)>),
+    /// Pre-rendered JSON spliced in verbatim — the bridge for values
+    /// produced by another writer (the `waymem_obs` snapshot). The
+    /// caller vouches that the string is valid JSON.
+    Raw(String),
 }
 
 impl Json {
@@ -132,6 +136,7 @@ impl fmt::Display for Json {
                 }
                 f.write_str("}")
             }
+            Json::Raw(s) => f.write_str(s),
         }
     }
 }
@@ -162,7 +167,7 @@ pub fn store_stats_json(stats: &waymem_trace::StoreStats) -> Json {
     ])
 }
 
-/// The `phases` object for `BENCH_headline.json` (schema v4): exclusive
+/// The `phases` object for `BENCH_headline.json` (schema v5): exclusive
 /// wall-clock seconds the process spent in each engine phase — resolve
 /// (store lookup / hashing), record (interpret / parse / generate), io
 /// (store reads and writes), replay (front-end evaluation) — read from
@@ -175,6 +180,15 @@ pub fn phases_json() -> Json {
             .map(|(name, seconds)| (name, Json::from(seconds)))
             .collect(),
     )
+}
+
+/// The `metrics` object for the `BENCH_*.json` exports: the whole
+/// observability registry — counters, gauges, histogram percentiles —
+/// plus the phase accounting, frozen now via
+/// [`waymem_obs::snapshot::take`].
+#[must_use]
+pub fn metrics_json() -> Json {
+    Json::Raw(waymem_obs::snapshot::take().to_json())
 }
 
 #[cfg(test)]
@@ -224,6 +238,15 @@ mod tests {
     fn strings_are_escaped() {
         assert_eq!(Json::from("a\"b\\c\n").to_string(), r#""a\"b\\c\n""#);
         assert_eq!(Json::from("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn raw_splices_verbatim_and_metrics_validate() {
+        let v = Json::object(vec![("m", Json::Raw("{\"a\":1}".to_owned()))]);
+        assert_eq!(v.to_string(), r#"{"m":{"a":1}}"#);
+        let rendered = metrics_json().to_string();
+        let parsed = waymem_obs::chrome::parse(&rendered).expect("metrics render as JSON");
+        waymem_obs::snapshot::validate_metrics(&parsed).expect("metrics validate");
     }
 
     #[test]

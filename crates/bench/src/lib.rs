@@ -40,12 +40,17 @@
 //! ([`fig4_dschemes`] / [`fig6_ischemes`] / [`full_dschemes`] /
 //! [`full_ischemes`], now defined in `waymem_sim::presets`) plus the
 //! env-wired [`store_from_env`], holds the tiny [`json`] writer behind
-//! the `BENCH_*.json` exports, and keeps the deprecated `run_suite*`
-//! shims importable for downstream code that predates the builder.
+//! the `BENCH_*.json` exports, the append-only run [`ledger`] those
+//! exports feed (`BENCH_LEDGER.jsonl`), and the perf-[`diff`] engine the
+//! `bench_diff` regression gate runs on, and keeps the deprecated
+//! `run_suite*` shims importable for downstream code that predates the
+//! builder.
 
 use waymem_sim::TraceStore;
 
+pub mod diff;
 pub mod json;
+pub mod ledger;
 
 pub use waymem_sim::presets::{fig4_dschemes, fig6_ischemes, full_dschemes, full_ischemes};
 // The deprecated suite shims historically lived in this crate; they now

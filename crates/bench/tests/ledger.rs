@@ -1,0 +1,141 @@
+//! The run ledger's durability contract: appends accumulate one JSONL
+//! record per code state (dedup bumps `runs_at_rev` instead of stacking
+//! lines), rotation bounds the file, and the records round-trip through
+//! the `bench_diff` comparison engine.
+
+use std::path::PathBuf;
+
+use waymem_bench::diff;
+use waymem_bench::json::Json;
+use waymem_bench::ledger::{self, Provenance};
+use waymem_obs::chrome::{parse, Value};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("waymem-ledger-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn prov(rev: &str) -> Provenance {
+    Provenance {
+        git_rev: rev.to_owned(),
+        git_dirty: false,
+        host_threads: 8,
+        unix_ts: 1_754_000_000,
+    }
+}
+
+fn perf(warm_speedup: f64) -> Json {
+    Json::object(vec![
+        ("warm_speedup", Json::from(warm_speedup)),
+        ("streaming_events_per_sec", Json::from(1.0e7)),
+        (
+            "phases",
+            Json::object(vec![
+                ("resolve", Json::from(0.01)),
+                ("record", Json::from(1.0)),
+                ("io", Json::from(0.3)),
+                ("replay", Json::from(2.0)),
+            ]),
+        ),
+    ])
+}
+
+fn records(path: &PathBuf) -> Vec<Value> {
+    std::fs::read_to_string(path)
+        .expect("ledger readable")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse(l).expect("ledger line is one JSON record"))
+        .collect()
+}
+
+#[test]
+fn appends_dedup_per_code_state_and_stamp_provenance() {
+    let path = tmp("dedup.jsonl");
+    std::fs::remove_file(&path).ok();
+
+    let first = ledger::append_to(&path, "headline", perf(40.0), &prov("aaa"), 512).unwrap();
+    assert_eq!((first.records, first.runs_at_rev, first.deduped), (1, 1, false));
+
+    // Same (bin, rev, dirty): the tail record is replaced, not stacked.
+    let rerun = ledger::append_to(&path, "headline", perf(41.0), &prov("aaa"), 512).unwrap();
+    assert_eq!((rerun.records, rerun.runs_at_rev, rerun.deduped), (1, 2, true));
+
+    // A different bin at the same rev is a distinct state.
+    let other = ledger::append_to(&path, "ingest", perf(5.0), &prov("aaa"), 512).unwrap();
+    assert_eq!((other.records, other.deduped), (2, false));
+
+    // A new revision appends.
+    let bumped = ledger::append_to(&path, "headline", perf(42.0), &prov("bbb"), 512).unwrap();
+    assert_eq!((bumped.records, bumped.runs_at_rev, bumped.deduped), (3, 1, false));
+
+    let all = records(&path);
+    assert_eq!(all.len(), 3);
+    for record in &all {
+        assert_eq!(
+            record.get("schema").and_then(Value::as_str),
+            Some(ledger::SCHEMA),
+            "every line carries the schema tag"
+        );
+        let metrics = record.get("metrics").expect("full snapshot embedded");
+        waymem_obs::snapshot::validate_metrics(metrics).expect("snapshot validates");
+    }
+    // The deduped record kept the latest perf numbers and the bump count.
+    let deduped = &all[0];
+    assert_eq!(deduped.get("runs_at_rev").and_then(Value::as_num), Some(2.0));
+    assert_eq!(
+        deduped.get("perf").and_then(|p| p.get("warm_speedup")).and_then(Value::as_num),
+        Some(41.0)
+    );
+    assert_eq!(deduped.get("host_threads").and_then(Value::as_num), Some(8.0));
+}
+
+#[test]
+fn rotation_keeps_only_the_newest_records() {
+    let path = tmp("rotate.jsonl");
+    std::fs::remove_file(&path).ok();
+    for i in 0..7 {
+        ledger::append_to(&path, "headline", perf(f64::from(i)), &prov(&format!("r{i}")), 4)
+            .unwrap();
+    }
+    let all = records(&path);
+    assert_eq!(all.len(), 4, "rotation trims to the cap");
+    let revs: Vec<_> =
+        all.iter().map(|r| r.get("git_rev").and_then(Value::as_str).unwrap().to_owned()).collect();
+    assert_eq!(revs, ["r3", "r4", "r5", "r6"], "oldest records dropped first");
+}
+
+#[test]
+fn ledger_records_feed_the_regression_gate() {
+    let path = tmp("gate.jsonl");
+    std::fs::remove_file(&path).ok();
+    ledger::append_to(&path, "headline", perf(40.0), &prov("base"), 512).unwrap();
+    let baseline = records(&path).pop().unwrap();
+
+    // An identical run is within any tolerance.
+    let same = parse(&format!(r#"{{"perf":{}}}"#, perf(40.0))).unwrap();
+    let report = diff::compare(&same, &baseline, 25.0).unwrap();
+    assert!(report.regressions().is_empty(), "{:?}", report.regressions());
+
+    // A warm-speedup collapse past the tolerance is flagged.
+    let degraded = parse(&format!(r#"{{"perf":{}}}"#, perf(10.0))).unwrap();
+    let report = diff::compare(&degraded, &baseline, 25.0).unwrap();
+    let flagged: Vec<&str> = report.regressions().iter().map(|d| d.metric.as_str()).collect();
+    assert_eq!(flagged, ["warm_speedup"]);
+}
+
+#[test]
+fn atomic_write_never_leaves_a_temp_behind() {
+    let path = tmp("atomic.jsonl");
+    std::fs::remove_file(&path).ok();
+    ledger::append_to(&path, "headline", perf(40.0), &prov("aaa"), 512).unwrap();
+    let dir = path.parent().unwrap();
+    let temps: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("atomic") && n.contains("tmp"))
+        .collect();
+    assert!(temps.is_empty(), "leftover temps: {temps:?}");
+}

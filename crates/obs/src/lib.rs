@@ -28,6 +28,14 @@
 //! * [`chrome`] — a minimal standalone JSON parser and a Chrome
 //!   trace-event validator, so tests and CI can round-trip the profiles
 //!   the tracer emits without external tooling.
+//! * [`snapshot`] — a one-call JSON freeze of the whole registry plus
+//!   the phase accounting, embedded as the `"metrics"` object of every
+//!   bench export and ledger record, with a matching reader-side
+//!   validator.
+//! * [`flight`] — the crash flight recorder: bounded per-thread rings of
+//!   recent log/span/note events, dumped as one structured JSON black
+//!   box by the panic hook and at the reliability seams (worker death,
+//!   quarantine, first injected fault).
 //!
 //! Binaries call [`init_from_env`] once at startup; library code just
 //! uses the macros and stays oblivious to whether anyone is watching.
@@ -36,9 +44,11 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod chrome;
+pub mod flight;
 pub mod log;
 pub mod metrics;
 pub mod phase;
+pub mod snapshot;
 pub mod span;
 
 pub use metrics::registry;
@@ -46,9 +56,12 @@ pub use span::SpanGuard;
 
 /// Arms the whole layer from the process environment, reading each
 /// variable once: `WAYMEM_SPANS=<path>` arms the span tracer,
-/// `WAYMEM_LOG=warn|info|debug` sets the log level (`warn` when unset).
-/// Idempotent; binaries call it first thing in `main`.
+/// `WAYMEM_LOG=warn|info|debug` sets the log level (`warn` when unset),
+/// and `WAYMEM_FLIGHT=<path>` points the crash flight recorder's dumps
+/// (default `waymem-flight.json`; `off` disables it) and installs its
+/// panic hook. Idempotent; binaries call it first thing in `main`.
 pub fn init_from_env() {
     span::init_from_env();
     log::init_from_env();
+    flight::init_from_env();
 }

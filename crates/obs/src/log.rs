@@ -122,6 +122,7 @@ pub fn emit(level: Level, event: &str, fields: &[(&str, String)]) {
         }
     }
     eprintln!("{line}");
+    crate::flight::record_log(level, event, fields);
     match level {
         Level::Off => {}
         Level::Warn => crate::counter!("log.warn").inc(),
@@ -194,6 +195,23 @@ mod tests {
         assert_eq!(Level::parse("off"), Some(Level::Off));
         assert_eq!(Level::parse("verbose"), None);
         assert!(Level::Warn < Level::Info && Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn level_parse_edge_cases() {
+        // Unknown levels are rejected, not coerced.
+        assert_eq!(Level::parse("trace"), None);
+        assert_eq!(Level::parse("WARN=1"), None);
+        assert_eq!(Level::parse("2"), None);
+        // Empty and whitespace-only fall through to the caller's default.
+        assert_eq!(Level::parse(""), None);
+        assert_eq!(Level::parse("   "), None);
+        // Mixed case and surrounding whitespace are accepted.
+        assert_eq!(Level::parse("Debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("\toff\n"), Some(Level::Off));
+        assert_eq!(Level::parse("SiLeNt"), Some(Level::Off));
+        assert_eq!(Level::parse("NONE"), Some(Level::Off));
     }
 
     #[test]

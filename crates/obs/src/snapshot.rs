@@ -1,0 +1,276 @@
+//! One-call export of the whole observability state.
+//!
+//! [`take`] freezes every instrument in the [`metrics`](crate::metrics)
+//! registry — counters, gauges, and histograms reduced to their summary
+//! statistics (count / sum / max / mean / p50 / p95 / p99) — together
+//! with the [`phase`] accumulators, into one plain-data
+//! [`Snapshot`]. [`Snapshot::to_json`] renders it as a compact JSON
+//! object, which is what the bench binaries embed as the `"metrics"`
+//! object of `BENCH_*.json`, what every `BENCH_LEDGER.jsonl` record
+//! carries, and what the [`flight`](crate::flight) recorder dumps next
+//! to its event ring.
+//!
+//! [`validate_metrics`] is the matching reader-side check (built on the
+//! [`chrome`](crate::chrome) JSON parser): histogram percentiles must be
+//! monotone (p50 ≤ p95 ≤ p99), counts must agree with finiteness, and
+//! phase totals must be non-negative. The `obs_check` binary runs it
+//! over exported files; tests run it over freshly rendered snapshots.
+
+use std::fmt::Write as _;
+
+use crate::chrome::Value;
+use crate::metrics::{registry, HistogramSnapshot};
+use crate::phase;
+
+/// Summary statistics of one histogram, percentiles to bucket
+/// resolution — the export-side reduction of a
+/// [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramStats {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of every recorded value (wrapping).
+    pub sum: u64,
+    /// Largest value recorded.
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median, to bucket resolution.
+    pub p50: u64,
+    /// 95th percentile, to bucket resolution.
+    pub p95: u64,
+    /// 99th percentile, to bucket resolution.
+    pub p99: u64,
+}
+
+impl From<HistogramSnapshot> for HistogramStats {
+    fn from(s: HistogramSnapshot) -> Self {
+        HistogramStats {
+            count: s.count,
+            sum: s.sum,
+            max: s.max,
+            mean: s.mean(),
+            p50: s.p50(),
+            p95: s.p95(),
+            p99: s.p99(),
+        }
+    }
+}
+
+/// A point-in-time freeze of every instrument plus the phase
+/// accumulators. Name-sorted within each section (the registry interns
+/// by name into sorted maps).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Every counter's name and count.
+    pub counters: Vec<(String, u64)>,
+    /// Every gauge's name and value.
+    pub gauges: Vec<(String, f64)>,
+    /// Every histogram's name and summary statistics.
+    pub histograms: Vec<(String, HistogramStats)>,
+    /// Exclusive per-phase wall-clock seconds, in
+    /// [`Phase`](crate::phase::Phase) declaration order.
+    pub phases: Vec<(&'static str, f64)>,
+}
+
+/// Freezes the registry and the phase accumulators now.
+#[must_use]
+pub fn take() -> Snapshot {
+    let regs = registry().snapshot();
+    Snapshot {
+        counters: regs.counters,
+        gauges: regs.gauges,
+        histograms: regs
+            .histograms
+            .into_iter()
+            .map(|(name, snap)| (name, HistogramStats::from(snap)))
+            .collect(),
+        phases: phase::snapshot().to_vec(),
+    }
+}
+
+/// Writes `v` as a JSON number: `{:?}` keeps a decimal point so the
+/// value round-trips as a float; non-finite values become `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_key(out: &mut String, first: &mut bool, key: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    crate::span::escape_into(out, key);
+    out.push_str("\":");
+}
+
+impl Snapshot {
+    /// Renders the snapshot as one compact JSON object:
+    ///
+    /// ```json
+    /// {"counters":{"replay.data_events":123},
+    ///  "gauges":{"store.hits":7.0},
+    ///  "histograms":{"store.io.read_ns":{"count":4,"sum":..,"max":..,
+    ///                "mean":..,"p50":..,"p95":..,"p99":..}},
+    ///  "phases":{"resolve":0.01,"record":1.2,"io":0.3,"replay":2.0}}
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            push_key(&mut out, &mut first, name);
+            let _ = write!(out, "{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (name, value) in &self.gauges {
+            push_key(&mut out, &mut first, name);
+            push_f64(&mut out, *value);
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (name, h) in &self.histograms {
+            push_key(&mut out, &mut first, name);
+            let _ = write!(
+                out,
+                "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":",
+                h.count, h.sum, h.max
+            );
+            push_f64(&mut out, h.mean);
+            let _ = write!(out, ",\"p50\":{},\"p95\":{},\"p99\":{}}}", h.p50, h.p95, h.p99);
+        }
+        out.push_str("},\"phases\":{");
+        first = true;
+        for (name, seconds) in &self.phases {
+            push_key(&mut out, &mut first, name);
+            push_f64(&mut out, *seconds);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Validates a parsed `"metrics"` object (the shape [`Snapshot::to_json`]
+/// emits and the bench binaries embed): the three instrument sections
+/// must be objects, every histogram must carry monotone percentiles
+/// (p50 ≤ p95 ≤ p99, all ≤ max) and an internally consistent count, and
+/// every phase total must be a non-negative finite number.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_metrics(metrics: &Value) -> Result<(), String> {
+    let section = |key: &str| -> Result<&[(String, Value)], String> {
+        match metrics.get(key) {
+            Some(Value::Obj(fields)) => Ok(fields),
+            Some(_) => Err(format!("metrics.{key} is not an object")),
+            None => Err(format!("metrics has no {key} object")),
+        }
+    };
+    for (name, value) in section("counters")? {
+        let n = value
+            .as_num()
+            .ok_or_else(|| format!("counter {name} is not a number"))?;
+        if !(n.is_finite() && n >= 0.0) {
+            return Err(format!("counter {name} = {n} is not a valid count"));
+        }
+    }
+    for (name, value) in section("gauges")? {
+        // Gauges are free-form levels; they only need to be numeric
+        // (the writer already turned non-finite values into null).
+        if value.as_num().is_none() && *value != Value::Null {
+            return Err(format!("gauge {name} is not a number"));
+        }
+    }
+    for (name, hist) in section("histograms")? {
+        let field = |key: &str| {
+            hist.get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("histogram {name}.{key} missing or non-numeric"))
+        };
+        let count = field("count")?;
+        let (p50, p95, p99, max) = (field("p50")?, field("p95")?, field("p99")?, field("max")?);
+        if !(p50 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "histogram {name}: percentiles not monotone (p50 {p50} / p95 {p95} / p99 {p99})"
+            ));
+        }
+        if count > 0.0 && p99 > max {
+            return Err(format!("histogram {name}: p99 {p99} exceeds max {max}"));
+        }
+        if count < 0.0 || !count.is_finite() {
+            return Err(format!("histogram {name}: bad count {count}"));
+        }
+    }
+    for (name, seconds) in section("phases")? {
+        let s = seconds
+            .as_num()
+            .ok_or_else(|| format!("phase {name} is not a number"))?;
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(format!("phase {name} = {s} is not a valid duration"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::parse;
+
+    #[test]
+    fn snapshot_round_trips_through_its_own_validator() {
+        crate::counter!("test.snapshot.counter").add(3);
+        crate::gauge!("test.snapshot.gauge").set(1.5);
+        let h = crate::histogram!("test.snapshot.hist");
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        let snap = take();
+        assert!(snap.counters.iter().any(|(n, v)| n == "test.snapshot.counter" && *v >= 3));
+        let text = snap.to_json();
+        let parsed = parse(&text).expect("snapshot renders valid JSON");
+        validate_metrics(&parsed).expect("snapshot validates");
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("test.snapshot.hist"))
+            .expect("histogram exported");
+        assert!(hist.get("count").and_then(Value::as_num).unwrap() >= 4.0);
+    }
+
+    #[test]
+    fn histogram_stats_reduce_the_snapshot() {
+        let h = crate::metrics::Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let stats = HistogramStats::from(h.snapshot());
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.max, 100);
+        assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
+        assert!((stats.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validator_rejects_broken_shapes() {
+        let bad_mono = parse(
+            r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"max":9,"mean":1.0,"p50":8,"p95":4,"p99":9}},"phases":{}}"#,
+        )
+        .unwrap();
+        assert!(validate_metrics(&bad_mono).unwrap_err().contains("not monotone"));
+        let neg_phase = parse(
+            r#"{"counters":{},"gauges":{},"histograms":{},"phases":{"io":-0.5}}"#,
+        )
+        .unwrap();
+        assert!(validate_metrics(&neg_phase).unwrap_err().contains("io"));
+        let missing = parse(r#"{"counters":{}}"#).unwrap();
+        assert!(validate_metrics(&missing).unwrap_err().contains("gauges"));
+    }
+}

@@ -142,7 +142,9 @@ impl Drop for SpanGuard {
     }
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the process-wide tracing epoch — shared with the
+/// [`flight`](crate::flight) recorder so both timelines line up.
+pub(crate) fn now_ns() -> u64 {
     u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -176,6 +178,7 @@ pub fn enter_args(
         crate::counter!("spans.dropped").inc();
         return SpanGuard { name: None };
     }
+    crate::flight::record(crate::flight::EventKind::Span, name, &[]);
     SpanGuard { name: Some(name) }
 }
 
@@ -195,8 +198,9 @@ macro_rules! span {
     };
 }
 
-/// Escapes a string for embedding in a JSON string literal.
-fn escape_into(out: &mut String, s: &str) {
+/// Escapes a string for embedding in a JSON string literal. Shared by
+/// every hand-rolled JSON writer in the crate.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -263,6 +267,13 @@ pub fn flush_to(path: &Path) -> io::Result<usize> {
     }
     out.push_str("]}");
     std::fs::write(path, out)?;
+    // Surface the balanced-drop tally: a silent cap hit would make the
+    // exported profile look complete when it is not.
+    let dropped = crate::counter!("spans.dropped").get();
+    crate::gauge!("obs.spans.dropped").set(dropped as f64);
+    if dropped > 0 {
+        crate::warn!("spans.dropped", count = dropped, cap = MAX_EVENTS_PER_THREAD);
+    }
     Ok(written)
 }
 

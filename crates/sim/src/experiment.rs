@@ -1034,8 +1034,15 @@ impl<'s> Suite<'s> {
 /// [`RunError::Worker`] — the boundary [`Suite::run`] wraps every
 /// workload in so one poisoned workload cannot take down its siblings.
 pub fn catch_worker<T>(f: impl FnOnce() -> Result<T, RunError>) -> Result<T, RunError> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
-        .unwrap_or_else(|payload| Err(RunError::Worker { message: panic_message(payload.as_ref()) }))
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let message = panic_message(payload.as_ref());
+        // The worker died: record the incident and dump the flight
+        // recorder's black box (no-op unless a dump path is configured)
+        // before the error is folded into the suite's failure list.
+        waymem_obs::flight::note("suite.worker_panic", &[("message", message.clone())]);
+        waymem_obs::flight::dump_on_incident("suite.worker_panic");
+        Err(RunError::Worker { message })
+    })
 }
 
 /// Extracts a human-readable message from a panic payload.

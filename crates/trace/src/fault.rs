@@ -197,7 +197,23 @@ impl FaultState {
         } else {
             self.consecutive_interrupts.store(0, Ordering::Relaxed);
         }
-        self.injected.fetch_add(1, Ordering::Relaxed);
+        if self.injected.fetch_add(1, Ordering::Relaxed) == 0 {
+            // An armed chaos run's first injection is the moment worth a
+            // black box: everything after it runs under fault pressure.
+            // Once per process — per-plan dumps would overwrite each
+            // other with strictly less context.
+            static FIRST_INJECTION: std::sync::Once = std::sync::Once::new();
+            FIRST_INJECTION.call_once(|| {
+                waymem_obs::flight::note(
+                    "fault.first_injection",
+                    &[
+                        ("seed", self.plan.seed.to_string()),
+                        ("period", self.plan.period.to_string()),
+                    ],
+                );
+                waymem_obs::flight::dump_on_incident("fault.first_injection");
+            });
+        }
         Some(fault)
     }
 }

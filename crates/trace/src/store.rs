@@ -483,6 +483,9 @@ impl TraceStore {
         }
         Counters::bump(&self.counters.quarantined);
         waymem_obs::warn!("store.quarantine", path = path.display());
+        // A quarantine is an incident: leave the black box next to the
+        // bare warn line (no-op unless a dump path is configured).
+        waymem_obs::flight::dump_on_incident("store.quarantine");
     }
 
     /// One hygiene pass per store over the cache dir: in-flight `*.tmp`
@@ -1352,6 +1355,11 @@ mod tests {
     #[test]
     fn corrupt_warm_file_is_quarantined_and_re_recorded() {
         let tmp = TempDir::new("quarantine");
+        // Point the flight recorder at a dump file: the quarantine below
+        // is an incident and must leave a validating black box.
+        let dump = tmp.0.join("flight.json");
+        let restore = waymem_obs::flight::configured_dump_path();
+        waymem_obs::flight::set_dump_path(Some(dump.clone()));
         let cold = TraceStore::with_cache_dir(&tmp.0);
         cold.get_or_record(dct(1), 0xfeed, || Ok::<_, ()>(tiny_trace(3))).expect("records");
         let path = tmp.0.join(dct(1).file_name());
@@ -1368,6 +1376,19 @@ mod tests {
             tmp.0.join(QUARANTINE_DIR).join(dct(1).file_name()).exists(),
             "bad bytes preserved in quarantine"
         );
+
+        // The dump validates and retains the quarantine event. Parallel
+        // tests share the process-global recorder, so a later incident
+        // may have re-dumped (overwriting the reason) — but rings are
+        // copied, never drained, so the event itself must be present.
+        let text = std::fs::read_to_string(&dump).expect("quarantine dumped a black box");
+        let summary = waymem_obs::flight::validate_dump(&text).expect("dump validates");
+        assert!(
+            summary.has_event("store.quarantine"),
+            "no store.quarantine among {:?}",
+            summary.names
+        );
+        waymem_obs::flight::set_dump_path(restore);
 
         // The re-record replaced the file: a third store disk-hits.
         let warm = TraceStore::with_cache_dir(&tmp.0);
