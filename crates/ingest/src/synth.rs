@@ -21,6 +21,14 @@
 //!   fresh region mid-trace, repeatedly: every migration cold-starts all
 //!   memoized state at once, the regime sweeps between stable phases
 //!   never show.
+//! * [`SynthPattern::MultiLoop`] — execution rotates through many
+//!   distinct inner loops at page-separated PC regions: one loop fits any
+//!   I-MAB, dozens overflow its capacity — the I-side stress the shared
+//!   single-loop fetch model cannot produce;
+//! * [`SynthPattern::RwChase`] — a mixed read/write pointer chase: every
+//!   visited node is read (next pointer) and written (payload word in the
+//!   same line), the linked-list-update regime where stores recur over
+//!   lines loads just touched.
 //!
 //! Generation is **deterministic**: equal [`SynthSpec`]s produce
 //! bit-identical traces on a given host (an xorshift32 stream seeded
@@ -91,6 +99,21 @@ const MAX_PHASE_HOT_LINES: u32 = PHASE_STRIDE / 32;
 /// The wrap region for strided walks: 1 MiB, comfortably larger than any
 /// simulated cache.
 const STRIDE_REGION: u32 = 1 << 20;
+
+/// Distance between consecutive loop regions of
+/// [`SynthPattern::MultiLoop`]: one 4 KiB page apart, so distinct loops
+/// never share a cache line (and spread across sets).
+const MLOOP_STRIDE: u32 = 4096;
+
+/// Upper bound on [`SynthPattern::MultiLoop`] loop count: 4096 regions ×
+/// [`MLOOP_STRIDE`] stays comfortably below [`DATA_BASE`], so the
+/// instruction footprint never aliases the data region.
+const MAX_LOOPS: u32 = 1 << 12;
+
+/// Byte offset of the payload word a [`SynthPattern::RwChase`] store
+/// writes within a visited node's line (the "next" pointer being read
+/// sits at offset 0; both land in the same 64-B line).
+const RW_PAYLOAD_OFFSET: u32 = 8;
 
 /// Deterministic xorshift32 — the same tiny RNG family the workload
 /// generators use; private copy so this crate's output never shifts
@@ -164,7 +187,7 @@ pub fn powf_fingerprint() -> u64 {
     })
 }
 
-/// The five-pattern suite the `ingest` bench bin runs alongside any
+/// The seven-pattern suite the `ingest` bench bin runs alongside any
 /// ingested logs: one spec per locality regime, all at `accesses` data
 /// accesses with a fixed seed (deterministic per host; the zipf row's
 /// cross-host caching is guarded by [`powf_fingerprint`]).
@@ -176,6 +199,8 @@ pub fn standard_suite(accesses: u32) -> Vec<SynthSpec> {
         SynthPattern::PointerChase { nodes: 4096 },
         SynthPattern::ZipfHotSet { hot_lines: 64, alpha_centi: 100 },
         SynthPattern::PhaseChange { hot_lines: 64, phases: 4 },
+        SynthPattern::MultiLoop { loops: 64, period: 4 },
+        SynthPattern::RwChase { nodes: 4096 },
     ]
     .into_iter()
     .map(|pattern| SynthSpec { pattern, accesses, seed: 1 })
@@ -275,12 +300,15 @@ pub fn generate_into<S: TraceSink>(spec: SynthSpec, sink: S) -> (IngestStats, S)
     let mut rng = XorShift32::new(spec.seed ^ 0x9e37_79b9);
     let mut builder = TraceBuilder::new(sink);
     let mut chase = match spec.pattern {
-        SynthPattern::PointerChase { nodes } => {
+        SynthPattern::PointerChase { nodes } | SynthPattern::RwChase { nodes } => {
             let cycle = chase_cycle(nodes, &mut rng);
             Some((cycle, 0u32))
         }
         _ => None,
     };
+    // The node the most recent RwChase load visited; the following store
+    // writes its payload word (same 64-B line).
+    let mut rw_visited = 0u32;
     let zipf = match spec.pattern {
         SynthPattern::ZipfHotSet { hot_lines, alpha_centi } => {
             Some(ZipfAlias::new(hot_lines.min(MAX_HOT_LINES), alpha_centi))
@@ -291,8 +319,17 @@ pub fn generate_into<S: TraceSink>(spec: SynthSpec, sink: S) -> (IngestStats, S)
         // The modelled loop: LOOP_BODY sequential fetches; the next
         // iteration's first fetch is then inferred as the backward
         // branch, giving I-side schemes the recurrence real loops have.
+        // MultiLoop rotates the loop's PC region round-robin, so the
+        // region switch is inferred as a cross-region taken branch.
+        let loop_base = match spec.pattern {
+            SynthPattern::MultiLoop { loops, period } => {
+                let idx = (i / period.max(1)) % loops.clamp(1, MAX_LOOPS);
+                LOOP_BASE + idx * MLOOP_STRIDE
+            }
+            _ => LOOP_BASE,
+        };
         for k in 0..LOOP_BODY {
-            builder.push(Op::Instr, u64::from(LOOP_BASE + 4 * k), 4);
+            builder.push(Op::Instr, u64::from(loop_base + 4 * k), 4);
         }
         let (op, addr) = match spec.pattern {
             SynthPattern::Stream => {
@@ -311,6 +348,28 @@ pub fn generate_into<S: TraceSink>(spec: SynthSpec, sink: S) -> (IngestStats, S)
                 let addr = DATA_BASE + *cur * NODE_STRIDE;
                 *cur = cycle[*cur as usize];
                 (Op::Load, addr)
+            }
+            SynthPattern::RwChase { .. } => {
+                // Visit = one load of the node's next pointer, then one
+                // store to its payload word: alternating accesses chase
+                // the same cycle at half speed with a 50/50 read/write
+                // mix, every store recurring over the line the preceding
+                // load just touched.
+                let (cycle, cur) = chase.as_mut().expect("chase state initialized");
+                if i % 2 == 0 {
+                    rw_visited = *cur;
+                    let addr = DATA_BASE + *cur * NODE_STRIDE;
+                    *cur = cycle[*cur as usize];
+                    (Op::Load, addr)
+                } else {
+                    (Op::Store, DATA_BASE + rw_visited * NODE_STRIDE + RW_PAYLOAD_OFFSET)
+                }
+            }
+            SynthPattern::MultiLoop { .. } => {
+                // The data side stays neutral — a pure sequential read
+                // stream — so the rotating instruction footprint is the
+                // only variable under test.
+                (Op::Load, DATA_BASE.wrapping_add(4 * i))
             }
             SynthPattern::ZipfHotSet { .. } => {
                 if rng.below(10) < 9 {
@@ -523,6 +582,70 @@ mod tests {
     }
 
     #[test]
+    fn multi_loop_rotates_page_separated_regions() {
+        let (loops, period) = (8u32, 4u32);
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::MultiLoop { loops, period },
+            accesses: loops * period * 2, // two full rotations
+            seed: 1,
+        });
+        // Every loop region is visited, each page-aligned relative to
+        // LOOP_BASE, and the rotation switches exactly every `period`
+        // iterations (LOOP_BODY fetches per iteration).
+        let bases: Vec<u32> = t
+            .fetch_events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Fetch { pc, .. } => pc & !(MLOOP_STRIDE - 1),
+                other => panic!("non-fetch in fetch stream: {other:?}"),
+            })
+            .collect();
+        let mut distinct: Vec<u32> = bases.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), loops as usize, "all {loops} regions visited");
+        for (n, base) in bases.chunks((period * LOOP_BODY) as usize).enumerate() {
+            let expect = LOOP_BASE + (n as u32 % loops) * MLOOP_STRIDE;
+            assert!(base.iter().all(|&b| b == expect), "chunk {n} stays in its region");
+        }
+        // One loop degenerates to the shared single-loop model.
+        let single = generate(SynthSpec {
+            pattern: SynthPattern::MultiLoop { loops: 1, period },
+            accesses: 100,
+            seed: 1,
+        });
+        assert!(single.fetch_events.iter().all(|e| match e {
+            TraceEvent::Fetch { pc, .. } => (LOOP_BASE..LOOP_BASE + 4 * LOOP_BODY).contains(pc),
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn rw_chase_alternates_loads_and_stores_over_the_same_nodes() {
+        let nodes = 64u32;
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::RwChase { nodes },
+            accesses: nodes * 4, // two full laps at two accesses per visit
+            seed: 3,
+        });
+        let mut visited: Vec<u32> = Vec::new();
+        for pair in t.data_events.chunks(2) {
+            let (load, store) = (&pair[0], &pair[1]);
+            assert!(matches!(load, TraceEvent::Load { .. }), "even access is the pointer read");
+            assert!(matches!(store, TraceEvent::Store { .. }), "odd access is the payload write");
+            // The store lands RW_PAYLOAD_OFFSET into the line the load
+            // just read — same node, same 64-B line.
+            assert_eq!(store.primary_addr(), load.primary_addr() + RW_PAYLOAD_OFFSET);
+            visited.push((load.primary_addr() - DATA_BASE) / NODE_STRIDE);
+        }
+        let mut lap: Vec<u32> = visited[..nodes as usize].to_vec();
+        lap.sort_unstable();
+        lap.dedup();
+        assert_eq!(lap.len(), nodes as usize, "one full orbit before repeating");
+        assert_eq!(&visited[..nodes as usize], &visited[nodes as usize..]);
+    }
+
+    #[test]
     fn fetch_stream_models_a_loop() {
         let t = generate(spec(SynthPattern::Stream));
         // First iteration: all sequential. Second iteration opens with
@@ -604,5 +727,25 @@ mod tests {
             seed: 1,
         });
         assert_eq!(t.data_events.len(), 10);
+        // A huge loop count clamps to MAX_LOOPS regions inside the
+        // instruction space; a zero period rotates every iteration.
+        let t = generate(SynthSpec {
+            pattern: SynthPattern::MultiLoop { loops: u32::MAX, period: 0 },
+            accesses: 10,
+            seed: 1,
+        });
+        assert_eq!(t.data_events.len(), 10);
+        assert!(t.fetch_events.iter().all(|e| match e {
+            TraceEvent::Fetch { pc, .. } => *pc < DATA_BASE,
+            _ => false,
+        }));
+        for nodes in [0, u32::MAX] {
+            let t = generate(SynthSpec {
+                pattern: SynthPattern::RwChase { nodes },
+                accesses: 10,
+                seed: 1,
+            });
+            assert_eq!(t.data_events.len(), 10);
+        }
     }
 }

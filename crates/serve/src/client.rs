@@ -1,0 +1,148 @@
+//! A blocking client for the serve protocol — one `TcpStream`, one
+//! frame out, one frame in. Used by `loadgen`, the test suite, and any
+//! sweep driver that wants a warm store without linking the simulator.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{self, ProtoError, Request, Response, RunRequest, Status};
+
+/// One connection to a waymem-serve daemon. Requests are serial per
+/// client; open more clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A successful `Run` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReply {
+    /// Whether the server deduplicated this request onto an in-flight
+    /// execution (single-flight follower).
+    pub shared: bool,
+    /// The experiment result as deterministic JSON.
+    pub result_json: String,
+}
+
+/// Why a request did not produce an `Ok`.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server answered with a non-`Ok` status.
+    Refused {
+        /// The refusal status.
+        status: Status,
+        /// The server's diagnostic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Refused { status, message } => {
+                write!(f, "server refused ({status:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl Client {
+    /// Connects to `addr` with no I/O timeouts (requests block until
+    /// the server replies or the connection drops).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Caps how long a single reply may take; `None` blocks forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_reply_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        proto::write_request(&mut self.stream, req)?;
+        Ok(proto::read_response(&mut self.stream, req)?)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Proto`] on transport failure, [`ClientError::Refused`]
+    /// on a non-`Ok` reply.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Executes (or joins) one experiment on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Refused`] carries the server's status — including
+    /// `Overloaded`, `Timeout`, and `Draining`, which callers may retry.
+    pub fn run(&mut self, request: RunRequest) -> Result<RunReply, ClientError> {
+        match self.round_trip(&Request::Run(request))? {
+            Response::RunOk { shared, result_json } => Ok(RunReply { shared, result_json }),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Fetches the daemon's observability snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Client::ping`].
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::StatsOk { snapshot_json } => Ok(snapshot_json),
+            other => Err(refused(other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. The server acknowledges, then
+    /// closes this connection.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Client::ping`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(refused(other)),
+        }
+    }
+}
+
+fn refused(resp: Response) -> ClientError {
+    match resp {
+        Response::Refused { status, message } => ClientError::Refused { status, message },
+        unexpected => ClientError::Proto(ProtoError::Malformed(match unexpected {
+            Response::Pong => "unexpected pong",
+            Response::RunOk { .. } => "unexpected run reply",
+            Response::StatsOk { .. } => "unexpected stats reply",
+            Response::ShutdownOk | Response::Refused { .. } => "unexpected reply",
+        })),
+    }
+}

@@ -79,6 +79,28 @@ pub enum SynthPattern {
         /// (≥ 1); the hot set migrates `phases − 1` times.
         phases: u32,
     },
+    /// A multi-loop instruction footprint: execution rotates round-robin
+    /// through `loops` distinct inner loops at well-separated PC regions,
+    /// switching every `period` iterations. One loop fits any I-MAB; many
+    /// loops overflow its capacity, so this is the I-side stress the
+    /// single-loop model every other pattern shares cannot produce.
+    MultiLoop {
+        /// Number of distinct inner loops the trace rotates through
+        /// (≥ 1); 1 degenerates to the shared single-loop model.
+        loops: u32,
+        /// Iterations spent in a loop before switching to the next
+        /// (≥ 1). Short periods thrash memoized I-state fastest.
+        period: u32,
+    },
+    /// A mixed read/write pointer chase: like
+    /// [`PointerChase`](Self::PointerChase), but every visited node is
+    /// read (the next pointer) *and* written (a payload word in the same
+    /// line) — the linked-list-update regime where stores recur over the
+    /// same lines loads just touched.
+    RwChase {
+        /// Number of nodes in the chased cycle (≥ 1).
+        nodes: u32,
+    },
 }
 
 impl SynthPattern {
@@ -96,6 +118,10 @@ impl SynthPattern {
             SynthPattern::PhaseChange { hot_lines, phases } => {
                 format!("phase{hot_lines}p{phases}")
             }
+            SynthPattern::MultiLoop { loops, period } => {
+                format!("mloop{loops}p{period}")
+            }
+            SynthPattern::RwChase { nodes } => format!("rwchase{nodes}"),
         }
     }
 
@@ -106,8 +132,19 @@ impl SynthPattern {
         if let Some(v) = token.strip_prefix("stride") {
             return Some(SynthPattern::Strided { stride: v.parse().ok()? });
         }
+        // `rwchase` before `chase`: both are chases, the prefix decides.
+        if let Some(v) = token.strip_prefix("rwchase") {
+            return Some(SynthPattern::RwChase { nodes: v.parse().ok()? });
+        }
         if let Some(v) = token.strip_prefix("chase") {
             return Some(SynthPattern::PointerChase { nodes: v.parse().ok()? });
+        }
+        if let Some(v) = token.strip_prefix("mloop") {
+            let (loops, period) = v.split_once('p')?;
+            return Some(SynthPattern::MultiLoop {
+                loops: loops.parse().ok()?,
+                period: period.parse().ok()?,
+            });
         }
         if let Some(v) = token.strip_prefix("zipf") {
             // `zipf{hot}a{alpha_centi}`; the pre-α token `zipf{hot}` is
@@ -311,6 +348,16 @@ mod tests {
                 accesses: 100_000,
                 seed: 9,
             }),
+            WorkloadId::Synthetic(SynthSpec {
+                pattern: SynthPattern::MultiLoop { loops: 16, period: 8 },
+                accesses: 100_000,
+                seed: 2,
+            }),
+            WorkloadId::Synthetic(SynthSpec {
+                pattern: SynthPattern::RwChase { nodes: 4096 },
+                accesses: 100_000,
+                seed: 5,
+            }),
         ];
         for id in ids {
             assert_eq!(WorkloadId::from_file_name(&id.file_name()), Some(id), "{id}");
@@ -330,6 +377,8 @@ mod tests {
             "synth-stride-a1-r1.wmtr",  // missing stride value
             "synth-zipf64-a1-r1.wmtr",  // pre-α zipf token (stale generator)
             "synth-phase32-a1-r1.wmtr", // phase token missing phase count
+            "synth-mloop16-a1-r1.wmtr", // mloop token missing period
+            "synth-rwchase-a1-r1.wmtr", // missing node count
         ] {
             assert_eq!(WorkloadId::from_file_name(name), None, "{name}");
         }

@@ -23,7 +23,12 @@
 //! * [`obs`] — the observability layer: a lock-free metrics registry,
 //!   RAII span tracing with Perfetto-compatible Chrome-trace export
 //!   (`WAYMEM_SPANS=<path>`), leveled structured logging
-//!   (`WAYMEM_LOG=warn|info|debug`) and per-run phase accounting.
+//!   (`WAYMEM_LOG=warn|info|debug`) and per-run phase accounting;
+//! * [`serve`] — the simulator as a long-running service: the
+//!   `waymem-serve` daemon (one hot store, single-flight dedup of
+//!   concurrent identical requests, bounded admission, graceful drain)
+//!   with its framed TCP protocol and blocking
+//!   [`Client`](serve::Client).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +63,7 @@ pub use waymem_hwmodel as hwmodel;
 pub use waymem_ingest as ingest;
 pub use waymem_isa as isa;
 pub use waymem_obs as obs;
+pub use waymem_serve as serve;
 pub use waymem_sim as sim;
 pub use waymem_trace as trace;
 pub use waymem_workloads as workloads;

@@ -139,6 +139,50 @@ fn phase_change_synthetic_runs_as_an_experiment_workload() {
 }
 
 #[test]
+fn multi_loop_synthetic_costs_imab_hits_vs_a_single_loop() {
+    // The ROADMAP's multi-loop instruction-footprint pattern: rotating
+    // through many page-separated inner loops must overflow the I-MAB's
+    // capacity, where a single loop's footprint fits it entirely.
+    let run = |loops| {
+        let r = Experiment::synthetic(SynthSpec {
+            pattern: SynthPattern::MultiLoop { loops, period: 4 },
+            accesses: 50_000,
+            seed: 3,
+        })
+        .ischemes([IScheme::paper_way_memo()])
+        .run()
+        .expect("runs");
+        let s = &r.icache[0].stats;
+        assert!(s.is_consistent());
+        s.mab_hit_rate()
+    };
+    let single = run(1);
+    let many = run(64);
+    assert!(many > 0.0, "the I-MAB still memoizes within a resident loop");
+    assert!(
+        many < single,
+        "a 64-loop footprint must cost I-MAB hits: {many:.3} vs single-loop {single:.3}"
+    );
+}
+
+#[test]
+fn rw_chase_synthetic_mixes_reads_and_writes() {
+    // The mixed read/write pointer chase: same builder path as every
+    // other synthetic, with both loads and stores hitting the D-side.
+    let r = Experiment::synthetic(SynthSpec {
+        pattern: SynthPattern::RwChase { nodes: 512 },
+        accesses: 20_000,
+        seed: 1,
+    })
+    .dschemes([DScheme::Original, DScheme::paper_way_memo()])
+    .run()
+    .expect("runs");
+    let s = &r.dcache[0].stats;
+    assert!(s.is_consistent());
+    assert_eq!(s.accesses, 20_000);
+}
+
+#[test]
 fn synthetic_experiment_is_store_transparent_and_deterministic() {
     let (d, i) = schemes();
     let spec = SynthSpec {
